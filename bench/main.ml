@@ -1,0 +1,225 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   and runs Bechamel micro-benchmarks of the building blocks.
+
+       dune exec bench/main.exe                 # everything
+       dune exec bench/main.exe -- --reps 50    # paper's repetition count
+       dune exec bench/main.exe -- --quick      # small sizes, few reps
+       dune exec bench/main.exe -- --micro-only # just the Bechamel part
+
+   Sections:
+     1. Tables 1-3  — average latency ± 95% CI per (protocol, n,
+        proposal distribution, fault load), next to the published
+        numbers.
+     2. σ sweep     — the Section 5 liveness bound, exercised in the
+        abstract round model.
+     3. Phases      — decision-phase distributions (§7.3).
+     4. Bechamel    — one Test.make per paper table (host-CPU cost of a
+        representative simulated cell) plus the cryptographic
+        primitives. *)
+
+let reps = ref 15
+let sizes = ref Harness.Paper.group_sizes
+let tables = ref true
+let sigma = ref true
+let phases = ref true
+let micro = ref true
+let seed = ref 1000L
+
+let speclist =
+  [
+    ("--reps", Arg.Set_int reps, "N repetitions per table cell (default 15; paper used 50)");
+    ( "--sizes",
+      Arg.String
+        (fun s -> sizes := List.map int_of_string (String.split_on_char ',' s)),
+      "N,N,... group sizes (default 4,7,10,13,16)" );
+    ( "--quick",
+      Arg.Unit
+        (fun () ->
+          reps := 5;
+          sizes := [ 4; 7 ]),
+      " small sizes and few repetitions" );
+    ("--seed", Arg.Int (fun s -> seed := Int64.of_int s), "S base seed (default 1000)");
+    ( "--tables-only",
+      Arg.Unit
+        (fun () ->
+          sigma := false;
+          phases := false;
+          micro := false),
+      " only regenerate Tables 1-3" );
+    ( "--micro-only",
+      Arg.Unit
+        (fun () ->
+          tables := false;
+          sigma := false;
+          phases := false),
+      " only the Bechamel micro-benchmarks" );
+  ]
+
+let banner title =
+  let line = String.make 72 '=' in
+  Printf.printf "%s\n%s\n%s\n" line title line
+
+(* --- section 1: the paper's tables ---------------------------------------- *)
+
+let run_tables () =
+  let options =
+    {
+      Harness.Experiment.default_options with
+      reps = !reps;
+      group_sizes = !sizes;
+      base_seed = !seed;
+      progress = Some (fun line -> Printf.eprintf "  [%s]\n%!" line);
+    }
+  in
+  List.iter
+    (fun load ->
+      banner
+        (Printf.sprintf "Table %d: %s fault load (%d reps/cell)"
+           (Harness.Experiment.table_number load)
+           (Net.Fault.load_to_string load)
+           !reps);
+      let results = Harness.Experiment.run_table ~options load in
+      print_string (Harness.Experiment.render_table load results);
+      print_newline ();
+      print_string (Harness.Experiment.render_comparison load results);
+      print_newline ())
+    [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ]
+
+(* --- section 2: sigma sweep ------------------------------------------------ *)
+
+let run_sigma () =
+  banner "Section 5 liveness bound: omissions per round vs progress";
+  List.iter
+    (fun (n, byz) ->
+      let t = List.length byz in
+      let k = n - Net.Fault.max_f n in
+      let rows =
+        Harness.Sweeps.sigma_sweep ~n ~k ~byzantine:byz ~runs_per_point:8 ~rounds:90
+          ~beyond:3 ~base_seed:!seed ()
+      in
+      print_string (Harness.Sweeps.render_sigma ~n ~k ~t rows);
+      print_newline ())
+    [ (4, []); (8, []); (8, [ 7 ]) ]
+
+(* --- section 3: decision phases ------------------------------------------- *)
+
+let run_phases () =
+  banner "Decision phases (paper 7.3): unanimous vs divergent";
+  let rows =
+    Harness.Sweeps.phase_distribution ~n:10 ~reps:20 ~base_seed:!seed
+      ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
+  in
+  print_string (Harness.Sweeps.render_phases ~n:10 rows);
+  print_newline ()
+
+(* --- section 3b: ablations -------------------------------------------------- *)
+
+let run_ablations () =
+  banner "Ablations: the design choices DESIGN.md calls out";
+  let rows = Harness.Sweeps.ablations ~n:10 ~reps:10 ~base_seed:!seed () in
+  print_string (Harness.Sweeps.render_ablations ~n:10 rows);
+  print_newline ()
+
+(* --- section 4: bechamel --------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* one representative simulated cell per paper table, measured in host
+   CPU time: n = 4, one run of each protocol under the table's fault
+   load *)
+let table_cell_test ~name ~load ~table_seed =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         List.iter
+           (fun protocol ->
+             ignore
+               (Harness.Runner.run ~protocol ~n:4 ~dist:Harness.Runner.Unanimous ~load
+                  ~seed:table_seed ()))
+           [ Harness.Runner.Turquois; Harness.Runner.Abba; Harness.Runner.Bracha ]))
+
+let crypto_tests () =
+  let rng = Util.Rng.create ~seed:77L in
+  let buf = Util.Rng.bytes rng 256 in
+  let rsa = Crypto.Rsa.generate rng ~bits:512 in
+  let signature = Crypto.Rsa.sign rsa.sec buf in
+  let sk, vk = Crypto.Onetime_sig.generate rng ~owner:0 ~phases:8 in
+  ignore sk;
+  let proof = Crypto.Onetime_sig.reveal sk ~phase:3 Crypto.Onetime_sig.S_one in
+  let params, key_shares = Crypto.Coin.setup rng ~n:4 ~threshold:2 ~pbits:512 ~qbits:160 () in
+  let share = Crypto.Coin.create_share params key_shares.(0) ~name:"bench" in
+  Test.make_grouped ~name:"crypto"
+    [
+      Test.make ~name:"sha256-256B" (Staged.stage (fun () -> Crypto.Sha256.digest buf));
+      Test.make ~name:"hmac-256B"
+        (Staged.stage (fun () -> Crypto.Hmac.mac ~key:proof buf));
+      Test.make ~name:"onetime-check"
+        (Staged.stage (fun () ->
+             Crypto.Onetime_sig.check vk ~phase:3 Crypto.Onetime_sig.S_one ~proof));
+      Test.make ~name:"rsa512-verify"
+        (Staged.stage (fun () -> Crypto.Rsa.verify rsa.pub buf ~signature));
+      Test.make ~name:"rsa512-sign" (Staged.stage (fun () -> Crypto.Rsa.sign rsa.sec buf));
+      Test.make ~name:"coin-share-verify"
+        (Staged.stage (fun () -> Crypto.Coin.verify_share params ~name:"bench" share));
+    ]
+
+let run_micro () =
+  banner "Bechamel micro-benchmarks (host CPU time per operation)";
+  let tests =
+    Test.make_grouped ~name:"bench"
+      [
+        Test.make_grouped ~name:"tables"
+          [
+            table_cell_test ~name:"table1-cell-n4" ~load:Net.Fault.Failure_free
+              ~table_seed:11L;
+            table_cell_test ~name:"table2-cell-n4" ~load:Net.Fault.Fail_stop
+              ~table_seed:12L;
+            table_cell_test ~name:"table3-cell-n4" ~load:Net.Fault.Byzantine
+              ~table_seed:13L;
+          ];
+        crypto_tests ();
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+        in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  let render (name, ns, r2) =
+    let time =
+      if ns >= 1.0e6 then Printf.sprintf "%10.3f ms" (ns /. 1.0e6)
+      else if ns >= 1.0e3 then Printf.sprintf "%10.3f us" (ns /. 1.0e3)
+      else Printf.sprintf "%10.1f ns" ns
+    in
+    [ name; time; Printf.sprintf "%.4f" r2 ]
+  in
+  print_string
+    (Util.Tablefmt.render
+       ~header:[ "benchmark"; "time/run"; "r^2" ]
+       ~rows:(List.map render rows) ());
+  print_newline ()
+
+let () =
+  Arg.parse speclist
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench/main.exe [options]";
+  if !tables then run_tables ();
+  if !sigma then run_sigma ();
+  if !phases then run_phases ();
+  if !phases then run_ablations ();
+  if !micro then run_micro ();
+  print_endline "benchmark complete."

@@ -1,0 +1,259 @@
+(* turquois-lab: command-line front end for the reproduction experiments.
+
+   Subcommands:
+     tables  — regenerate the paper's Tables 1-3 (latency per fault load)
+     sigma   — sweep the omission budget around the liveness bound
+     phases  — decision-phase distributions (paper 7.3)
+     run     — one verbose consensus execution *)
+
+open Cmdliner
+
+let progress line = Printf.eprintf "  %s\n%!" line
+
+(* --- tables -------------------------------------------------------------- *)
+
+let load_of_table = function
+  | 1 -> Net.Fault.Failure_free
+  | 2 -> Net.Fault.Fail_stop
+  | 3 -> Net.Fault.Byzantine
+  | t -> invalid_arg (Printf.sprintf "no table %d (1, 2 or 3)" t)
+
+let run_tables tables reps sizes seed timeout compare quiet =
+  let options =
+    {
+      Harness.Experiment.default_options with
+      reps;
+      group_sizes = sizes;
+      base_seed = seed;
+      timeout;
+      progress = (if quiet then None else Some progress);
+    }
+  in
+  List.iter
+    (fun table ->
+      let load = load_of_table table in
+      let results = Harness.Experiment.run_table ~options load in
+      print_string (Harness.Experiment.render_table load results);
+      print_newline ();
+      if compare then begin
+        print_string (Harness.Experiment.render_comparison load results);
+        print_newline ()
+      end)
+    tables;
+  0
+
+let tables_arg =
+  let doc = "Which tables to regenerate (repeatable; default all three)." in
+  Arg.(value & opt_all int [] & info [ "table"; "t" ] ~docv:"N" ~doc)
+
+let reps_arg default =
+  let doc = "Repetitions per cell (the paper uses 50)." in
+  Arg.(value & opt int default & info [ "reps"; "r" ] ~docv:"REPS" ~doc)
+
+let sizes_arg =
+  let doc = "Group sizes to measure." in
+  Arg.(value & opt (list int) Harness.Paper.group_sizes & info [ "sizes" ] ~docv:"N,..." ~doc)
+
+let seed_arg =
+  let doc = "Base seed; repetition i uses seed+i." in
+  Arg.(value & opt int64 1000L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let timeout_arg =
+  let doc = "Per-run simulated-time limit in seconds." in
+  Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let compare_arg =
+  let doc = "Also print measured-vs-paper comparison tables." in
+  Arg.(value & flag & info [ "compare"; "c" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress per-cell progress on stderr." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let tables_cmd =
+  let make tables reps sizes seed timeout compare quiet =
+    let tables = match tables with [] -> [ 1; 2; 3 ] | l -> l in
+    run_tables tables reps sizes seed timeout compare quiet
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's latency tables (Tables 1-3)")
+    Term.(
+      const make $ tables_arg $ reps_arg 50 $ sizes_arg $ seed_arg $ timeout_arg
+      $ compare_arg $ quiet_arg)
+
+(* --- sigma ---------------------------------------------------------------- *)
+
+let run_sigma n k byz runs rounds beyond seed =
+  let k = match k with Some k -> k | None -> n - Net.Fault.max_f n in
+  let byzantine = List.init byz (fun i -> n - 1 - i) in
+  let rows =
+    Harness.Sweeps.sigma_sweep ~n ~k ~byzantine ~runs_per_point:runs ~rounds ~beyond
+      ~base_seed:seed ()
+  in
+  print_string (Harness.Sweeps.render_sigma ~n ~k ~t:(List.length byzantine) rows);
+  0
+
+let sigma_cmd =
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let k_arg =
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Processes required to decide (default n-f).")
+  in
+  let byz_arg =
+    Arg.(value & opt int 0 & info [ "byzantine" ] ~docv:"T" ~doc:"Number of Byzantine processes.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 10 & info [ "runs" ] ~docv:"RUNS" ~doc:"Runs per sweep point.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 120 & info [ "rounds" ] ~docv:"R" ~doc:"Round horizon per run.")
+  in
+  let beyond_arg =
+    Arg.(value & opt int 4 & info [ "beyond" ] ~docv:"B" ~doc:"Sweep this far past sigma.")
+  in
+  Cmd.v
+    (Cmd.info "sigma" ~doc:"Sweep omissions per round around the sigma liveness bound")
+    Term.(const run_sigma $ n_arg $ k_arg $ byz_arg $ runs_arg $ rounds_arg $ beyond_arg $ seed_arg)
+
+(* --- phases ---------------------------------------------------------------- *)
+
+let run_phases n reps seed =
+  let rows =
+    Harness.Sweeps.phase_distribution ~n ~reps ~base_seed:seed
+      ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
+  in
+  print_string (Harness.Sweeps.render_phases ~n rows);
+  0
+
+let phases_cmd =
+  let n_arg = Arg.(value & opt int 10 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Turquois decision-phase distributions (paper 7.3)")
+    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg)
+
+(* --- messages ---------------------------------------------------------------- *)
+
+let run_messages sizes reps seed =
+  (* radio frames and bytes per consensus execution: the O(n^2) / O(n^3)
+     message-complexity separation of Section 7 *)
+  let header = [ "Group" ] @ List.concat_map (fun p -> [ p ^ " frames"; p ^ " kB" ])
+      [ "Turquois"; "ABBA"; "Bracha" ] in
+  let rows =
+    List.map
+      (fun n ->
+        Printf.sprintf "n = %d" n
+        :: List.concat_map
+             (fun protocol ->
+               let frames = ref [] and bytes = ref [] in
+               for rep = 0 to reps - 1 do
+                 let r =
+                   Harness.Runner.run ~protocol ~n ~dist:Harness.Runner.Unanimous
+                     ~load:Net.Fault.Failure_free
+                     ~seed:(Int64.add seed (Int64.of_int rep)) ()
+                 in
+                 frames := float_of_int r.frames_sent :: !frames;
+                 bytes := float_of_int r.bytes_sent :: !bytes
+               done;
+               [
+                 Printf.sprintf "%.0f" (Util.Stats.mean !frames);
+                 Printf.sprintf "%.1f" (Util.Stats.mean !bytes /. 1024.0);
+               ])
+             [ Harness.Runner.Turquois; Harness.Runner.Abba; Harness.Runner.Bracha ])
+      sizes
+  in
+  print_string "Radio frames and kilobytes per failure-free unanimous consensus
+";
+  print_string (Util.Tablefmt.render ~header ~rows ());
+  0
+
+let messages_cmd =
+  Cmd.v
+    (Cmd.info "messages"
+       ~doc:"Frames/bytes per consensus: the message-complexity separation")
+    Term.(const run_messages $ sizes_arg $ reps_arg 5 $ seed_arg)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "turquois" -> Ok Harness.Runner.Turquois
+    | "bracha" -> Ok Harness.Runner.Bracha
+    | "abba" -> Ok Harness.Runner.Abba
+    | other -> Error (`Msg (Printf.sprintf "unknown protocol %S" other))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Harness.Runner.protocol_to_string p))
+
+let load_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "failure-free" | "none" -> Ok Net.Fault.Failure_free
+    | "fail-stop" | "crash" -> Ok Net.Fault.Fail_stop
+    | "byzantine" | "byz" -> Ok Net.Fault.Byzantine
+    | other -> Error (`Msg (Printf.sprintf "unknown fault load %S" other))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
+
+let run_single protocol n divergent load seed loss trace =
+  let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
+  let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
+  if trace then Net.Trace.start ();
+  let result =
+    Harness.Runner.run ~protocol ~n ~dist ~load ~conditions ~seed ()
+  in
+  Printf.printf "%s n=%d %s %s (seed %Ld)\n" (Harness.Runner.protocol_to_string protocol) n
+    (Harness.Runner.dist_to_string dist)
+    (Net.Fault.load_to_string load)
+    seed;
+  Printf.printf "  decided: %d/%d correct processes, agreement=%b validity=%b%s\n"
+    (List.length result.latencies) (List.length result.correct) result.agreement
+    result.validity
+    (if result.timed_out then " TIMED-OUT" else "");
+  List.iter
+    (fun (i, latency) ->
+      let value = List.assoc i result.decisions in
+      let phase = List.assoc i result.decision_phases in
+      Printf.printf "  p%-2d -> %d  at phase/round %-3d latency %8.2f ms\n" i value phase
+        (latency *. 1000.0))
+    result.latencies;
+  Printf.printf "  radio: %d frames, %d bytes, %.3f s simulated\n" result.frames_sent
+    result.bytes_sent result.duration;
+  if trace then begin
+    Net.Trace.stop ();
+    print_endline "\n--- protocol-level trace (radio tx suppressed; use the Trace API for all) ---";
+    print_string
+      (Net.Trace.render ~filter:(fun e -> e.Net.Trace.layer <> "radio") ~max_events:400 ())
+  end;
+  0
+
+let run_cmd =
+  let protocol_arg =
+    Arg.(value & opt protocol_conv Harness.Runner.Turquois
+         & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"turquois, abba or bracha.")
+  in
+  let n_arg = Arg.(value & opt int 7 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
+  let divergent_arg =
+    Arg.(value & flag & info [ "divergent" ] ~doc:"Divergent proposals (default unanimous).")
+  in
+  let load_arg =
+    Arg.(value & opt load_conv Net.Fault.Failure_free
+         & info [ "load" ] ~docv:"LOAD" ~doc:"failure-free, fail-stop or byzantine.")
+  in
+  let loss_arg =
+    Arg.(value & opt float Net.Fault.benign_conditions.loss_prob
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-receiver omission probability.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"One verbose consensus execution")
+    Term.(const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg $ loss_arg $ trace_arg)
+
+let main_cmd =
+  let doc = "Turquois (DSN 2010) reproduction laboratory" in
+  Cmd.group (Cmd.info "turquois-lab" ~doc)
+    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

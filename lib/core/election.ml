@@ -1,0 +1,43 @@
+type t = {
+  service : Service.t;
+  n : int;
+  alive : int -> bool;
+  mutable current : int;  (* candidate under consideration *)
+  mutable elected : int option;
+  mutable elect_cb : (leader:int -> unit) option;
+  mutable started : bool;
+}
+
+let create node cfg ~keyring ~alive ?(base_port = 12000) () =
+  let n = cfg.Proto.n in
+  let service = Service.create node cfg ~keyring ~instances:n ~base_port () in
+  { service; n; alive; current = 0; elected = None; elect_cb = None; started = false }
+
+let leader t = t.elected
+let rounds_used t = if t.elected = None then t.current else t.current + 1
+let on_elect t f = t.elect_cb <- Some f
+
+let settle t leader =
+  if t.elected = None then begin
+    t.elected <- Some leader;
+    match t.elect_cb with Some f -> f ~leader | None -> ()
+  end
+
+let consider t candidate =
+  if candidate >= t.n then settle t (-1)
+  else begin
+    t.current <- candidate;
+    Service.propose t.service ~instance:candidate (if t.alive candidate then 1 else 0)
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Service.on_decide t.service (fun ~instance ~value ->
+        (* decisions for past candidates may straggle in; only the
+           instance currently under consideration advances the scan *)
+        if t.elected = None && instance = t.current then begin
+          if value = 1 then settle t instance else consider t (instance + 1)
+        end);
+    consider t 0
+  end

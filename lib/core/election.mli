@@ -1,0 +1,41 @@
+(** Leader election on top of binary consensus — one of the coordination
+    tasks the paper's introduction motivates ("nodes may need to ...
+    elect a leader").
+
+    Classic reduction: candidates are examined in identifier order; for
+    candidate c every process proposes 1 if it believes c is currently
+    reachable, and the group runs one Turquois instance. The first
+    candidate whose instance decides 1 is the leader. Agreement of the
+    underlying consensus makes the elected leader unique; validity makes
+    it a candidate that at least one correct process endorsed.
+
+    All processes must use the same geometry (candidate order = process
+    ids, base port, per-instance phase budget). *)
+
+type t
+
+val create :
+  Net.Node.t ->
+  Proto.config ->
+  keyring:Keyring.t ->
+  alive:(int -> bool) ->
+  ?base_port:int ->
+  unit ->
+  t
+(** [alive c] is this process's local judgement of candidate [c] (e.g.
+    heard from recently). The keyring must cover [n * cfg.max_phases]
+    phases — one slice per candidate.
+    @raise Invalid_argument when it does not. *)
+
+val start : t -> unit
+
+val on_elect : t -> (leader:int -> unit) -> unit
+(** Fires once, when a leader is first determined. If every candidate's
+    instance decides 0, fires with leader = -1 (no election possible —
+    all correct processes judged everyone unreachable). *)
+
+val leader : t -> int option
+(** [Some (-1)] encodes the exhausted case above. *)
+
+val rounds_used : t -> int
+(** Candidates examined so far. *)

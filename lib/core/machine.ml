@@ -1,0 +1,370 @@
+type event = Phase_changed of int | Decided of { value : int; phase : int }
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected_auth : int;
+  mutable duplicates : int;
+  mutable pending_peak : int;
+}
+
+type behavior = Correct | Attacker
+
+type t = {
+  cfg : Proto.config;
+  keyring : Keyring.t;
+  rng : Util.Rng.t;
+  behavior : behavior;
+  mutable phase_i : int;
+  mutable v_i : Proto.value;
+  mutable origin_i : Proto.origin;
+  mutable status_i : Proto.status;
+  v : Vset.t;
+  pending : (int * int, Message.t list) Hashtbl.t;
+  mutable pending_count : int;
+  mutable decision : int option;
+  mutable decision_phase : int option;
+  mutable decided_quorum_phase : int option;
+  mutable last_broadcast : (int * Proto.value * Proto.status) option;
+  decided_claims : (int, int) Hashtbl.t;  (* sender -> claimed decided value *)
+  stats : stats;
+}
+
+let id t = Keyring.owner t.keyring
+let phase t = t.phase_i
+let current_value t = t.v_i
+let current_status t = t.status_i
+let decision t = t.decision
+let decision_phase t = t.decision_phase
+let stats t = t.stats
+let vset t = t.v
+
+let create cfg ~keyring ~rng ?(behavior = Correct) ~proposal () =
+  Proto.validate_config cfg;
+  let v_i = Proto.value_of_bit proposal in
+  {
+    cfg;
+    keyring;
+    rng;
+    behavior;
+    phase_i = 1;
+    v_i;
+    origin_i = Proto.Deterministic;
+    status_i = Proto.Undecided;
+    v = Vset.create ~n:cfg.n;
+    pending = Hashtbl.create 64;
+    pending_count = 0;
+    decision = None;
+    decision_phase = None;
+    decided_quorum_phase = None;
+    last_broadcast = None;
+    decided_claims = Hashtbl.create 16;
+    stats = { accepted = 0; rejected_auth = 0; duplicates = 0; pending_peak = 0 };
+  }
+
+(* --- outgoing ----------------------------------------------------------- *)
+
+(* What actually goes on the wire: correct processes send their state;
+   the attacker follows the strategy of §7.2. *)
+let wire_fields t =
+  match t.behavior with
+  | Correct -> (t.v_i, t.origin_i, t.status_i)
+  | Attacker -> begin
+      match Proto.kind_of_phase t.phase_i with
+      | Proto.Converge | Proto.Lock ->
+          let flipped =
+            match t.v_i with
+            | Proto.V0 -> Proto.V1
+            | Proto.V1 -> Proto.V0
+            | Proto.Vbot -> Proto.V1
+          in
+          (flipped, Proto.Deterministic, Proto.Undecided)
+      | Proto.Decide -> (Proto.Vbot, Proto.Deterministic, Proto.Undecided)
+    end
+
+let same_state_as_last_broadcast t =
+  match t.last_broadcast with
+  | None -> false
+  | Some (phase, value, status) ->
+      let wv, _, ws = wire_fields t in
+      phase = t.phase_i && Proto.value_equal value wv && status = ws
+
+(* Justification bundle for explicit validation: the minimal witness
+   sets each of the receiver-side rules needs — a phase quorum at phi-1,
+   the value support the rule for (phi, v, origin) demands, and the
+   status witness. Greedy selection with (sender, phase) dedup keeps the
+   bundle close to the theoretical minimum (about two quorums). *)
+let build_justification t =
+  let quorum_min = ((t.cfg.n + t.cfg.f) / 2) + 1 in
+  let half_min = ((t.cfg.n + t.cfg.f) / 4) + 1 in
+  let selected : (int * int, Message.t) Hashtbl.t = Hashtbl.create 32 in
+  let matches ?value (m : Message.t) =
+    match value with None -> true | Some v -> Proto.value_equal m.value v
+  in
+  let ensure ~phase ?value need =
+    if phase >= 1 && need > 0 then begin
+      let have =
+        Hashtbl.fold
+          (fun (_, p) m acc -> if p = phase && matches ?value m then acc + 1 else acc)
+          selected 0
+      in
+      let missing = ref (need - have) in
+      List.iter
+        (fun (m : Message.t) ->
+          if !missing > 0 && matches ?value m
+             && not (Hashtbl.mem selected (m.sender, m.phase))
+          then begin
+            Hashtbl.replace selected (m.sender, m.phase) m;
+            decr missing
+          end)
+        (Vset.messages_at t.v ~phase)
+    end
+  in
+  let phi = t.phase_i in
+  let value, origin, status = wire_fields t in
+  (* The previous three phases make one adoption hop self-contained:
+     a phase-phi message's value and status rules reach at most phi-2,
+     and the supports of those supports reach phi-3 (which validates
+     against material a receiver at phase phi-3 already holds). *)
+  for back = 1 to 3 do
+    ensure ~phase:(phi - back) t.cfg.n
+  done;
+  if phi > 1 then ensure ~phase:(phi - 1) quorum_min;
+  (if phi > 1 then
+     match (Proto.kind_of_phase phi, value, origin) with
+     | Proto.Lock, v, _ -> ensure ~phase:(phi - 1) ~value:v half_min
+     | Proto.Decide, Proto.Vbot, _ ->
+         ensure ~phase:(phi - 2) ~value:Proto.V0 half_min;
+         ensure ~phase:(phi - 2) ~value:Proto.V1 half_min
+     | Proto.Decide, v, _ -> ensure ~phase:(phi - 1) ~value:v quorum_min
+     | Proto.Converge, v, Proto.Deterministic -> ensure ~phase:(phi - 2) ~value:v quorum_min
+     | Proto.Converge, _, Proto.Random ->
+         ensure ~phase:(phi - 1) ~value:Proto.Vbot quorum_min);
+  (match status with
+  | Proto.Undecided ->
+      if phi > 3 then begin
+        let phi' = Validation.highest_lock_phase_below phi in
+        ensure ~phase:phi' ~value:Proto.V0 half_min;
+        ensure ~phase:phi' ~value:Proto.V1 half_min;
+        ensure ~phase:(Validation.highest_decide_phase_below phi) ~value:Proto.Vbot 1
+      end
+  | Proto.Decided -> begin
+      match t.decided_quorum_phase with
+      | Some p -> ensure ~phase:p ~value quorum_min
+      | None -> ()
+    end);
+  Hashtbl.fold (fun _ m acc -> m :: acc) selected []
+  |> List.sort (fun (a : Message.t) (b : Message.t) -> compare (a.phase, a.sender) (b.phase, b.sender))
+
+let prepare t ~justify =
+  if t.phase_i > t.cfg.max_phases then None
+  else begin
+    let value, origin, status = wire_fields t in
+    let proof = Keyring.sign t.keyring ~phase:t.phase_i ~value ~origin in
+    let msg = { Message.sender = id t; phase = t.phase_i; value; origin; status; proof } in
+    let justification = if justify then build_justification t else [] in
+    t.last_broadcast <- Some (t.phase_i, value, status);
+    (* a correct process trusts its own state: V gets the message
+       directly (any loopback copy is deduplicated) *)
+    ignore (Vset.add t.v msg);
+    Some { Message.msg; justification }
+  end
+
+(* --- state transitions (task T2) ---------------------------------------- *)
+
+let local_coin t = if Util.Rng.bool t.rng then Proto.V1 else Proto.V0
+
+(* Transition rule 1 (lines 10-18): adopt the state of a higher-phase
+   message. Coin-flip values are re-flipped locally (line 12). *)
+let try_adopt t =
+  match Vset.highest_message t.v with
+  | Some h when h.phase > t.phase_i ->
+      t.phase_i <- h.phase;
+      (match (Proto.kind_of_phase h.phase, h.origin) with
+      | Proto.Converge, Proto.Random ->
+          t.v_i <- local_coin t;
+          t.origin_i <- Proto.Random
+      | (Proto.Converge | Proto.Lock | Proto.Decide), (Proto.Random | Proto.Deterministic) ->
+          t.v_i <- h.value;
+          t.origin_i <- h.origin);
+      t.status_i <- h.status;
+      (match (h.status, t.decided_quorum_phase) with
+      | Proto.Decided, None -> t.decided_quorum_phase <- Some h.phase
+      | (Proto.Decided | Proto.Undecided), _ -> ());
+      true
+  | Some _ | None -> false
+
+let quorum_value t ~phase =
+  let find value =
+    if Proto.quorum_exceeded t.cfg (Vset.count_value t.v ~phase ~value) then Some value
+    else None
+  in
+  match find Proto.V0 with Some v -> Some v | None -> find Proto.V1
+
+(* Transition rule 2 (lines 19-39): act on a quorum at the current phase. *)
+let try_quorum_step t =
+  if not (Proto.quorum_exceeded t.cfg (Vset.count_phase t.v ~phase:t.phase_i)) then false
+  else begin
+    (match Proto.kind_of_phase t.phase_i with
+    | Proto.Converge ->
+        t.v_i <- Vset.majority_value t.v ~phase:t.phase_i;
+        t.origin_i <- Proto.Deterministic
+    | Proto.Lock ->
+        (match quorum_value t ~phase:t.phase_i with
+        | Some v -> t.v_i <- v
+        | None -> t.v_i <- Proto.Vbot);
+        t.origin_i <- Proto.Deterministic
+    | Proto.Decide ->
+        (match quorum_value t ~phase:t.phase_i with
+        | Some _ ->
+            t.status_i <- Proto.Decided;
+            if t.decided_quorum_phase = None then t.decided_quorum_phase <- Some t.phase_i
+        | None -> ());
+        (match Vset.some_binary_value t.v ~phase:t.phase_i with
+        | Some v ->
+            t.v_i <- v;
+            t.origin_i <- Proto.Deterministic
+        | None ->
+            t.v_i <- local_coin t;
+            t.origin_i <- Proto.Random));
+    t.phase_i <- t.phase_i + 1;
+    true
+  end
+
+let settle_decision t =
+  if t.status_i = Proto.Decided && t.decision = None then begin
+    match Proto.bit_of_value t.v_i with
+    | Some bit ->
+        t.decision <- Some bit;
+        let at_phase =
+          match t.decided_quorum_phase with Some p -> p | None -> t.phase_i
+        in
+        t.decision_phase <- Some at_phase;
+        [ Decided { value = bit; phase = at_phase } ]
+    | None ->
+        (* unreachable for a correct process: decided status is only set
+           alongside a binary value *)
+        assert false
+  end
+  else []
+
+(* Decision certificate: more than (n+f)/2 distinct processes have sent
+   authentic messages claiming they decided v. At least one of them is
+   correct (quorum - f > f for n > 3f), so adopting the decision is
+   safe. This is how a process that fell too far behind to replay the
+   validation chain still terminates once the group has decided — the
+   same amplification idea as Bracha's READY rule. *)
+let try_decision_certificate t =
+  if t.status_i = Proto.Decided then false
+  else begin
+    let votes = Hashtbl.create 2 in
+    Hashtbl.iter
+      (fun _ v -> Hashtbl.replace votes v (1 + Option.value ~default:0 (Hashtbl.find_opt votes v)))
+      t.decided_claims;
+    let winner =
+      Hashtbl.fold
+        (fun v count acc -> if Proto.quorum_exceeded t.cfg count then Some v else acc)
+        votes None
+    in
+    match winner with
+    | Some bit ->
+        t.v_i <- Proto.value_of_bit bit;
+        t.origin_i <- Proto.Deterministic;
+        t.status_i <- Proto.Decided;
+        true
+    | None -> false
+  end
+
+let update_state t =
+  let phase_before = t.phase_i in
+  let progress = ref true in
+  while !progress do
+    let adopted = try_adopt t in
+    let stepped = try_quorum_step t in
+    progress := adopted || stepped
+  done;
+  ignore (try_decision_certificate t);
+  let decide_events = settle_decision t in
+  if t.phase_i <> phase_before then Phase_changed t.phase_i :: decide_events
+  else decide_events
+
+(* --- incoming ----------------------------------------------------------- *)
+
+let pending_add t (m : Message.t) =
+  let key = (m.sender, m.phase) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.pending key) in
+  if List.exists (Message.header_equal m) existing then ()
+  else if List.length existing >= Crypto.Onetime_sig.slot_count then ()
+  else begin
+    Hashtbl.replace t.pending key (m :: existing);
+    t.pending_count <- t.pending_count + 1;
+    if t.pending_count > t.stats.pending_peak then t.stats.pending_peak <- t.pending_count
+  end
+
+(* Re-examine the pool in ascending phase order until a fixpoint: a
+   message admitted to V may unlock the validation of later ones. *)
+let drain_pending t =
+  let admitted_any = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let candidates =
+      Hashtbl.fold (fun key msgs acc -> (key, msgs) :: acc) t.pending []
+      |> List.sort (fun ((_, p1), _) ((_, p2), _) -> compare p1 p2)
+    in
+    List.iter
+      (fun (key, msgs) ->
+        let still_pending =
+          List.filter
+            (fun m ->
+              if Vset.mem t.v ~sender:(fst key) ~phase:(snd key) then begin
+                t.stats.duplicates <- t.stats.duplicates + 1;
+                t.pending_count <- t.pending_count - 1;
+                false
+              end
+              else if Validation.is_valid t.cfg t.v m then begin
+                if Vset.add t.v m then begin
+                  t.stats.accepted <- t.stats.accepted + 1;
+                  admitted_any := true;
+                  progress := true
+                end
+                else t.stats.duplicates <- t.stats.duplicates + 1;
+                t.pending_count <- t.pending_count - 1;
+                false
+              end
+              else true)
+            msgs
+        in
+        if still_pending = [] then Hashtbl.remove t.pending key
+        else Hashtbl.replace t.pending key still_pending)
+      candidates
+  done;
+  !admitted_any
+
+let record_decided_claim t (m : Message.t) =
+  match (m.status, m.value) with
+  | Proto.Decided, (Proto.V0 | Proto.V1) ->
+      if m.sender <> id t && not (Hashtbl.mem t.decided_claims m.sender) then
+        Hashtbl.replace t.decided_claims m.sender (Proto.value_to_int m.value)
+  | (Proto.Decided | Proto.Undecided), _ -> ()
+
+let handle t { Message.msg; justification } =
+  let auth_checks = ref 0 in
+  let claims_before = Hashtbl.length t.decided_claims in
+  let consider m =
+    if Vset.mem t.v ~sender:m.Message.sender ~phase:m.Message.phase then
+      t.stats.duplicates <- t.stats.duplicates + 1
+    else begin
+      incr auth_checks;
+      if Keyring.check_message t.keyring m then begin
+        record_decided_claim t m;
+        pending_add t m
+      end
+      else t.stats.rejected_auth <- t.stats.rejected_auth + 1
+    end
+  in
+  List.iter consider justification;
+  consider msg;
+  let admitted = drain_pending t in
+  let new_claims = Hashtbl.length t.decided_claims > claims_before in
+  let events = if admitted || new_claims then update_state t else [] in
+  (events, !auth_checks)

@@ -1,0 +1,59 @@
+(** The Turquois protocol as a pure state machine, independent of any
+    transport or clock.
+
+    {!Turquois} wraps this machine with the UDP-broadcast shell used in
+    the paper's evaluation; the harness's abstract round simulator
+    drives it directly to study the σ liveness bound of Section 5. All
+    nondeterminism comes from the supplied RNG (the local coin), so runs
+    are reproducible. *)
+
+type event =
+  | Phase_changed of int
+  | Decided of { value : int; phase : int }
+      (** Fired once, when the decision variable is first assigned. *)
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected_auth : int;
+  mutable duplicates : int;
+  mutable pending_peak : int;
+}
+
+type behavior = Correct | Attacker
+
+type t
+
+val create :
+  Proto.config ->
+  keyring:Keyring.t ->
+  rng:Util.Rng.t ->
+  ?behavior:behavior ->
+  proposal:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on a bad config or a non-binary proposal. *)
+
+val id : t -> int
+val phase : t -> int
+val current_value : t -> Proto.value
+val current_status : t -> Proto.status
+val decision : t -> int option
+val decision_phase : t -> int option
+val stats : t -> stats
+val vset : t -> Vset.t
+
+val prepare : t -> justify:bool -> Message.envelope option
+(** The broadcast for the current state (task T1). With [justify], the
+    explicit-validation bundle is attached. Also records the process's
+    own message in its V set. [None] once the phase exceeds the one-time
+    key horizon (the instance can no longer transmit). *)
+
+val handle : t -> Message.envelope -> event list * int
+(** Task T2 for one arriving envelope: authenticity checks, the pending
+    pool fixpoint, then state transitions. Returns the events produced
+    and the number of hash verifications performed (for CPU-cost
+    accounting by the shell). *)
+
+val same_state_as_last_broadcast : t -> bool
+(** True when the state to broadcast equals the previously broadcast
+    one — the trigger for attaching explicit justification (§6.2). *)

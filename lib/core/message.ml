@@ -1,0 +1,85 @@
+type t = {
+  sender : int;
+  phase : int;
+  value : Proto.value;
+  origin : Proto.origin;
+  status : Proto.status;
+  proof : bytes;
+}
+
+let slot_of ~value ~origin =
+  match (value, origin) with
+  | Proto.Vbot, _ -> Crypto.Onetime_sig.S_bot
+  | Proto.V0, Proto.Deterministic -> Crypto.Onetime_sig.S_zero
+  | Proto.V1, Proto.Deterministic -> Crypto.Onetime_sig.S_one
+  | Proto.V0, Proto.Random -> Crypto.Onetime_sig.S_rand_zero
+  | Proto.V1, Proto.Random -> Crypto.Onetime_sig.S_rand_one
+
+let header_equal a b =
+  a.sender = b.sender && a.phase = b.phase
+  && Proto.value_equal a.value b.value
+  && a.origin = b.origin && a.status = b.status
+
+let describe m =
+  Printf.sprintf "<%d, phi=%d, v=%s%s, %s>" m.sender m.phase
+    (Proto.value_to_string m.value)
+    (match m.origin with Proto.Random -> "(coin)" | Proto.Deterministic -> "")
+    (match m.status with Proto.Decided -> "decided" | Proto.Undecided -> "undecided")
+
+type envelope = { msg : t; justification : t list }
+
+let write_msg w m =
+  Util.Codec.W.u16 w m.sender;
+  Util.Codec.W.varint w m.phase;
+  Util.Codec.W.u8 w (Proto.value_to_int m.value);
+  Util.Codec.W.u8 w (match m.origin with Proto.Deterministic -> 0 | Proto.Random -> 1);
+  Util.Codec.W.u8 w (match m.status with Proto.Undecided -> 0 | Proto.Decided -> 1);
+  Util.Codec.W.bytes_lp w m.proof
+
+let read_msg r =
+  let sender = Util.Codec.R.u16 r in
+  let phase = Util.Codec.R.varint r in
+  if phase < 1 then raise (Util.Codec.Malformed "message phase < 1");
+  let value = Proto.value_of_int (Util.Codec.R.u8 r) in
+  let origin =
+    match Util.Codec.R.u8 r with
+    | 0 -> Proto.Deterministic
+    | 1 -> Proto.Random
+    | _ -> raise (Util.Codec.Malformed "invalid origin")
+  in
+  let status =
+    match Util.Codec.R.u8 r with
+    | 0 -> Proto.Undecided
+    | 1 -> Proto.Decided
+    | _ -> raise (Util.Codec.Malformed "invalid status")
+  in
+  let proof = Util.Codec.R.bytes_lp r in
+  { sender; phase; value; origin; status; proof }
+
+let encode env =
+  let w = Util.Codec.W.create ~capacity:64 () in
+  write_msg w env.msg;
+  Util.Codec.W.u16 w (List.length env.justification);
+  List.iter (write_msg w) env.justification;
+  Util.Codec.W.contents w
+
+let decode b =
+  let r = Util.Codec.R.of_bytes b in
+  let msg = read_msg r in
+  let count = Util.Codec.R.u16 r in
+  let justification = List.init count (fun _ -> read_msg r) in
+  Util.Codec.R.expect_end r;
+  { msg; justification }
+
+let encoded_size env = Bytes.length (encode env)
+
+let msg_to_bytes m =
+  let w = Util.Codec.W.create ~capacity:48 () in
+  write_msg w m;
+  Util.Codec.W.contents w
+
+let msg_of_bytes b =
+  let r = Util.Codec.R.of_bytes b in
+  let m = read_msg r in
+  Util.Codec.R.expect_end r;
+  m

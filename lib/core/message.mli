@@ -1,0 +1,40 @@
+(** Turquois wire messages.
+
+    A message is the tuple ⟨i, φ, v, status⟩ of Algorithm 1 extended
+    with the value's origin flag, authenticated by the one-time hash
+    signature for [(φ, v, origin)], and optionally carrying a
+    justification bundle — the previously received messages that prove
+    the sender's state transition (explicit semantic validation,
+    Section 6.2). Justification entries are plain messages without
+    nested justifications. *)
+
+type t = {
+  sender : int;
+  phase : int;
+  value : Proto.value;
+  origin : Proto.origin;
+  status : Proto.status;
+  proof : bytes;  (** 32-byte one-time signature over (phase, value, origin) *)
+}
+
+val slot_of : value:Proto.value -> origin:Proto.origin -> Crypto.Onetime_sig.slot
+(** Key slot used to sign/verify a message with this value and origin. *)
+
+val header_equal : t -> t -> bool
+(** Equality of the protocol-visible fields (ignores the proof). *)
+
+val describe : t -> string
+(** One-line rendering for traces and test failures. *)
+
+(** A message as it travels: the message itself plus its justification
+    bundle (empty on optimistic first transmission). *)
+type envelope = { msg : t; justification : t list }
+
+val encode : envelope -> bytes
+val decode : bytes -> envelope
+(** @raise Util.Codec.Malformed / Truncated on garbage. *)
+
+val encoded_size : envelope -> int
+
+val msg_to_bytes : t -> bytes
+val msg_of_bytes : bytes -> t

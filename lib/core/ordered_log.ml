@@ -1,0 +1,183 @@
+(* Payload frames travel on [payload_port]; slot s's consensus instance
+   runs on [base_port + s] through the shared Service. Slots open
+   strictly sequentially at each process, so decisions (and deliveries)
+   are locally in order; a committed slot whose payload is still missing
+   blocks delivery until a retransmission arrives (the proposer keeps
+   rebroadcasting for a grace period after its slot closes). *)
+
+type slot_outcome = Committed of bytes | Committed_awaiting_payload | Skipped
+
+type t = {
+  node : Net.Node.t;
+  cfg : Proto.config;
+  service : Service.t;
+  capacity : int;
+  payload_wait : float;
+  payload_port : int;
+  pending : bytes Queue.t;                    (* my submissions *)
+  proposed : (int, unit) Hashtbl.t;           (* slots we already voted on *)
+  payloads : (int, bytes) Hashtbl.t;          (* slot -> received payload *)
+  outcomes : (int, slot_outcome) Hashtbl.t;   (* decided slots *)
+  mutable slot : int;                          (* slot currently open here *)
+  mutable next_deliver : int;
+  mutable deliveries : (int * bytes option) list;  (* newest first *)
+  mutable deliver_cb : (slot:int -> payload:bytes option -> unit) option;
+  mutable my_payload_until : (int * float) option; (* rebroadcast grace *)
+  mutable started : bool;
+}
+
+let n t = t.cfg.Proto.n
+let me t = Net.Node.id t.node
+let proposer_of t slot = slot mod n t
+let current_slot t = t.slot
+let on_deliver t f = t.deliver_cb <- Some f
+let delivered t = List.rev t.deliveries
+let submit t payload = Queue.add payload t.pending
+
+let create node cfg ~keyring ~capacity ?(payload_wait = 0.050) ?(base_port = 15000) () =
+  if capacity < 1 then invalid_arg "Ordered_log.create: capacity must be positive";
+  (* short linger: with many sequential instances the default 50-tick
+     tail traffic of each decided slot would congest the next ones *)
+  let service =
+    Service.create node cfg ~keyring ~instances:capacity ~base_port ~linger_ticks:10 ()
+  in
+  {
+    node;
+    cfg;
+    service;
+    capacity;
+    payload_wait;
+    payload_port = base_port - 1;
+    pending = Queue.create ();
+    proposed = Hashtbl.create 32;
+    payloads = Hashtbl.create 32;
+    outcomes = Hashtbl.create 32;
+    slot = 0;
+    next_deliver = 0;
+    deliveries = [];
+    deliver_cb = None;
+    my_payload_until = None;
+    started = false;
+  }
+
+let encode_payload ~slot payload =
+  let w = Util.Codec.W.create ~capacity:(8 + Bytes.length payload) () in
+  Util.Codec.W.varint w slot;
+  Util.Codec.W.bytes_lp w payload;
+  Util.Codec.W.contents w
+
+let decode_payload raw =
+  let r = Util.Codec.R.of_bytes raw in
+  let slot = Util.Codec.R.varint r in
+  let payload = Util.Codec.R.bytes_lp r in
+  Util.Codec.R.expect_end r;
+  (slot, payload)
+
+let rec flush_deliveries t =
+  match Hashtbl.find_opt t.outcomes t.next_deliver with
+  | None -> ()
+  | Some Committed_awaiting_payload -> () (* blocked until the payload arrives *)
+  | Some outcome ->
+      let slot = t.next_deliver in
+      let payload = match outcome with Committed p -> Some p | Committed_awaiting_payload | Skipped -> None in
+      t.deliveries <- (slot, payload) :: t.deliveries;
+      t.next_deliver <- slot + 1;
+      (match t.deliver_cb with Some f -> f ~slot ~payload | None -> ());
+      flush_deliveries t
+
+let record_outcome t ~slot outcome =
+  if not (Hashtbl.mem t.outcomes slot) then begin
+    Hashtbl.replace t.outcomes slot outcome;
+    flush_deliveries t
+  end
+
+(* the proposer rebroadcasts its payload every tick while relevant *)
+let rec payload_tick t =
+  (match t.my_payload_until with
+  | Some (slot, until) when Net.Engine.now (Net.Node.engine t.node) <= until -> begin
+      match Hashtbl.find_opt t.payloads slot with
+      | Some payload ->
+          Net.Node.broadcast t.node ~port:t.payload_port (encode_payload ~slot payload)
+      | None -> ()
+    end
+  | Some _ | None -> ());
+  ignore
+    (Net.Node.set_timer t.node ~delay:t.cfg.tick_interval (fun () -> payload_tick t))
+
+let propose_slot t ~slot bit =
+  if not (Hashtbl.mem t.proposed slot) then begin
+    Hashtbl.replace t.proposed slot ();
+    Service.propose t.service ~instance:slot bit
+  end
+
+let rec open_slot t slot =
+  if slot < t.capacity then begin
+    t.slot <- slot;
+    if proposer_of t slot = me t && not (Queue.is_empty t.pending) then begin
+      (* my slot and I have something to say: broadcast and vote 1 *)
+      let payload = Queue.pop t.pending in
+      Hashtbl.replace t.payloads slot payload;
+      t.my_payload_until <-
+        Some (slot, Net.Engine.now (Net.Node.engine t.node) +. 2.0);
+      Net.Node.broadcast t.node ~port:t.payload_port (encode_payload ~slot payload);
+      propose_slot t ~slot 1
+    end
+    else if Hashtbl.mem t.payloads slot then propose_slot t ~slot 1
+    else begin
+      (* wait for the payload; propose whatever we hold at the deadline *)
+      ignore
+        (Net.Node.set_timer t.node ~delay:t.payload_wait (fun () ->
+             if t.slot = slot then
+               propose_slot t ~slot (if Hashtbl.mem t.payloads slot then 1 else 0)))
+    end
+  end
+
+and close_slot t ~slot ~value =
+  (if value = 1 then begin
+     match Hashtbl.find_opt t.payloads slot with
+     | Some payload -> record_outcome t ~slot (Committed payload)
+     | None ->
+         (* committed but content still in flight *)
+         Hashtbl.replace t.outcomes slot Committed_awaiting_payload
+   end
+   else begin
+     (* my own payload did not reach a quorum in time: requeue it for my
+        next slot so the submission is not silently lost *)
+     if proposer_of t slot = me t then begin
+       match Hashtbl.find_opt t.payloads slot with
+       | Some payload ->
+           Hashtbl.remove t.payloads slot;
+           let requeued = Queue.create () in
+           Queue.add payload requeued;
+           Queue.transfer t.pending requeued;
+           Queue.transfer requeued t.pending
+       | None -> ()
+     end;
+     record_outcome t ~slot Skipped
+   end);
+  if slot = t.slot then open_slot t (slot + 1)
+
+let handle_payload t raw =
+  match decode_payload raw with
+  | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
+  | slot, payload ->
+      if slot >= 0 && slot < t.capacity && not (Hashtbl.mem t.payloads slot) then begin
+        Hashtbl.replace t.payloads slot payload;
+        (* a committed slot that was waiting for this content *)
+        (match Hashtbl.find_opt t.outcomes slot with
+        | Some Committed_awaiting_payload ->
+            Hashtbl.replace t.outcomes slot (Committed payload);
+            flush_deliveries t
+        | Some (Committed _ | Skipped) | None -> ());
+        (* an open slot we had not voted on yet *)
+        if slot = t.slot then propose_slot t ~slot 1
+      end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Service.on_decide t.service (fun ~instance ~value -> close_slot t ~slot:instance ~value);
+    Net.Node.listen t.node ~port:t.payload_port (fun ~src:_ raw -> handle_payload t raw);
+    payload_tick t;
+    open_slot t 0
+  end

@@ -1,0 +1,54 @@
+(** Totally-ordered message log on top of binary k-consensus — the
+    "order messages" coordination task of the paper's introduction.
+
+    Slots are numbered 0, 1, 2, …; slot s belongs to the designated
+    proposer [s mod n] (rotating coordinator, no leader reliance: a
+    silent proposer only costs its own slots). The proposer of an open
+    slot broadcasts its payload and every process runs one consensus
+    instance per slot, proposing 1 iff it received the payload within
+    the wait window. A slot that decides 1 delivers its payload to every
+    process in slot order; a slot that decides 0 is skipped. Agreement
+    of the underlying consensus gives all correct processes the same
+    committed/skipped pattern, hence the same log.
+
+    Fault coverage: the *ordering* layer inherits Turquois's tolerance
+    (Byzantine consensus participants, unrestricted omissions). Payload
+    {e content} dissemination is best-effort broadcast, so a Byzantine
+    {e proposer} could send different payloads for its own slot to
+    different processes; closing that hole requires reliably
+    broadcasting payloads first (e.g. with the echo/ready protocol in
+    {!Baselines.Bracha}) and is out of scope here — the paper's own
+    scope is the binary consensus underneath. *)
+
+type t
+
+val create :
+  Net.Node.t ->
+  Proto.config ->
+  keyring:Keyring.t ->
+  capacity:int ->
+  ?payload_wait:float ->
+  ?base_port:int ->
+  unit ->
+  t
+(** [capacity] is the number of slots this log can commit (the keyring
+    must cover [capacity * cfg.max_phases] phases). [payload_wait]
+    (default 50 ms) is how long a non-proposer waits for a slot's
+    payload before proposing 0. All processes must use the same
+    geometry. *)
+
+val start : t -> unit
+
+val submit : t -> bytes -> unit
+(** Queues a payload; it is broadcast when one of this process's own
+    slots opens. *)
+
+val on_deliver : t -> (slot:int -> payload:bytes option -> unit) -> unit
+(** Fires exactly once per slot, in slot order. [None] means the slot
+    was skipped (decided 0). *)
+
+val delivered : t -> (int * bytes option) list
+(** Slots delivered so far, ascending. *)
+
+val current_slot : t -> int
+(** The slot this process is currently working on. *)

@@ -1,0 +1,66 @@
+type slot = { mutable instance : Turquois.t option }
+
+type t = {
+  node : Net.Node.t;
+  cfg : Proto.config;
+  keyring : Keyring.t;
+  count : int;
+  base_port : int;
+  tick_policy : Turquois.tick_policy;
+  linger_ticks : int;
+  slots : slot array;
+  mutable decide_cb : (instance:int -> value:int -> unit) option;
+  mutable decided : int;
+}
+
+let create node cfg ~keyring ~instances ?(base_port = 9000)
+    ?(tick_policy = Turquois.Fixed_tick) ?(linger_ticks = 50) () =
+  Proto.validate_config cfg;
+  if instances < 1 then invalid_arg "Service.create: need at least one instance";
+  if Keyring.phases keyring < instances * cfg.max_phases then
+    invalid_arg "Service.create: keyring does not cover all instances";
+  {
+    node;
+    cfg;
+    keyring;
+    count = instances;
+    base_port;
+    tick_policy;
+    linger_ticks;
+    slots = Array.init instances (fun _ -> { instance = None });
+    decide_cb = None;
+    decided = 0;
+  }
+
+let instances t = t.count
+
+let check_range t instance =
+  if instance < 0 || instance >= t.count then
+    invalid_arg (Printf.sprintf "Service: instance %d out of range" instance)
+
+let propose t ~instance proposal =
+  check_range t instance;
+  let slot = t.slots.(instance) in
+  if slot.instance <> None then
+    invalid_arg (Printf.sprintf "Service: instance %d already proposed" instance);
+  let keyring =
+    Keyring.slice t.keyring ~offset:(instance * t.cfg.max_phases) ~phases:t.cfg.max_phases
+  in
+  let consensus =
+    Turquois.create t.node t.cfg ~keyring ~port:(t.base_port + instance)
+      ~tick_policy:t.tick_policy ~linger_ticks:t.linger_ticks ~proposal ()
+  in
+  Turquois.on_decide consensus (fun ~value ~phase:_ ->
+      t.decided <- t.decided + 1;
+      match t.decide_cb with Some f -> f ~instance ~value | None -> ());
+  slot.instance <- Some consensus;
+  Turquois.start consensus
+
+let decision t ~instance =
+  check_range t instance;
+  match t.slots.(instance).instance with
+  | Some consensus -> Turquois.decision consensus
+  | None -> None
+
+let decided_count t = t.decided
+let on_decide t f = t.decide_cb <- Some f

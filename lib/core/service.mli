@@ -1,0 +1,43 @@
+(** Multi-instance agreement service.
+
+    Wireless coordination tasks rarely need a single yes/no: nodes agree
+    on a {e sequence} of decisions (accept each alarm, admit each member,
+    commit each slot). This module runs numbered Turquois instances side
+    by side on one node, realizing the paper's Section 6.1 remark that
+    "a single key exchange can span multiple instances of the
+    k-consensus": every instance signs with a disjoint slice of the same
+    pre-distributed one-time key array.
+
+    All processes must create their services with the same geometry
+    (instance count, phase stride, base port). Instances are independent
+    — they may run concurrently and decide out of order. *)
+
+type t
+
+val create :
+  Net.Node.t ->
+  Proto.config ->
+  keyring:Keyring.t ->
+  instances:int ->
+  ?base_port:int ->
+  ?tick_policy:Turquois.tick_policy ->
+  ?linger_ticks:int ->
+  unit ->
+  t
+(** [cfg.max_phases] is the per-instance phase budget (the stride);
+    the keyring must cover [instances * cfg.max_phases] phases.
+    @raise Invalid_argument otherwise. *)
+
+val instances : t -> int
+
+val propose : t -> instance:int -> int -> unit
+(** Starts the given instance with a binary proposal. Each instance can
+    be proposed at most once per process.
+    @raise Invalid_argument on out-of-range instance, bad proposal, or
+    double proposal. *)
+
+val decision : t -> instance:int -> int option
+val decided_count : t -> int
+
+val on_decide : t -> (instance:int -> value:int -> unit) -> unit
+(** Fired once per instance, on its decision. *)

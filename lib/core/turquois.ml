@@ -1,0 +1,192 @@
+type tick_policy = Fixed_tick | Adaptive_tick of { floor : float; factor : float }
+
+let default_adaptive = Adaptive_tick { floor = 2.5e-3; factor = 0.5 }
+
+type auth_cost = Onetime_cost | Rsa_cost
+
+type behavior = Machine.behavior = Correct | Attacker
+
+type stats = {
+  mutable ticks : int;
+  mutable broadcasts : int;
+  mutable justified_broadcasts : int;
+  mutable accepted : int;
+  mutable rejected_auth : int;
+  mutable duplicates : int;
+  mutable pending_peak : int;
+}
+
+type t = {
+  node : Net.Node.t;
+  machine : Machine.t;
+  cfg : Proto.config;
+  port : int;
+  tick_policy : tick_policy;
+  auth_cost : auth_cost;
+  linger_ticks : int;
+  mutable stuck_ticks : int;
+  mutable ticks_since_decision : int;
+  mutable current_tick : float;
+  mutable tick_handle : Net.Engine.handle option;
+  mutable started : bool;
+  mutable decide_cb : (value:int -> phase:int -> unit) option;
+  mutable phase_cb : (phase:int -> unit) option;
+  shell_stats : stats;
+}
+
+let id t = Net.Node.id t.node
+let phase t = Machine.phase t.machine
+let current_value t = Machine.current_value t.machine
+let current_status t = Machine.current_status t.machine
+let decision t = Machine.decision t.machine
+let decision_phase t = Machine.decision_phase t.machine
+let vset t = Machine.vset t.machine
+let on_decide t f = t.decide_cb <- Some f
+let on_phase_change t f = t.phase_cb <- Some f
+
+let stats t =
+  let m = Machine.stats t.machine in
+  t.shell_stats.accepted <- m.accepted;
+  t.shell_stats.rejected_auth <- m.rejected_auth;
+  t.shell_stats.duplicates <- m.duplicates;
+  t.shell_stats.pending_peak <- m.pending_peak;
+  t.shell_stats
+
+let create node cfg ~keyring ?(behavior = Correct) ?(port = 443)
+    ?(tick_policy = Fixed_tick) ?(linger_ticks = 50) ?(auth_cost = Onetime_cost)
+    ~proposal () =
+  if Keyring.owner keyring <> Net.Node.id node then
+    invalid_arg "Turquois.create: keyring owner does not match node id";
+  (match tick_policy with
+  | Fixed_tick -> ()
+  | Adaptive_tick { floor; factor } ->
+      if floor <= 0.0 || factor <= 0.0 || factor >= 1.0 then
+        invalid_arg "Turquois.create: bad adaptive tick parameters");
+  let machine =
+    Machine.create cfg ~keyring ~rng:(Net.Node.rng node) ~behavior ~proposal ()
+  in
+  {
+    node;
+    machine;
+    cfg;
+    port;
+    tick_policy;
+    auth_cost;
+    linger_ticks;
+    stuck_ticks = 0;
+    ticks_since_decision = 0;
+    current_tick = cfg.tick_interval;
+    tick_handle = None;
+    started = false;
+    decide_cb = None;
+    phase_cb = None;
+    shell_stats =
+      {
+        ticks = 0;
+        broadcasts = 0;
+        justified_broadcasts = 0;
+        accepted = 0;
+        rejected_auth = 0;
+        duplicates = 0;
+        pending_peak = 0;
+      };
+  }
+
+let broadcast_state t ~justify =
+  match Machine.prepare t.machine ~justify with
+  | None -> ()  (* one-time key horizon exhausted *)
+  | Some envelope ->
+      (match t.auth_cost with
+      | Onetime_cost -> ()  (* signing reveals a precomputed key: free *)
+      | Rsa_cost -> Net.Node.charge t.node Net.Cost.rsa_sign);
+      t.shell_stats.broadcasts <- t.shell_stats.broadcasts + 1;
+      if envelope.justification <> [] then
+        t.shell_stats.justified_broadcasts <- t.shell_stats.justified_broadcasts + 1;
+      Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+        ~layer:"turquois" ~label:"broadcast"
+        (Printf.sprintf "%s%s" (Message.describe envelope.msg)
+           (match envelope.justification with
+           | [] -> ""
+           | l -> Printf.sprintf " +%d justifying" (List.length l)));
+      Net.Node.broadcast t.node ~port:t.port (Message.encode envelope)
+
+let rec arm_tick t =
+  (match t.tick_handle with
+  | Some h ->
+      Net.Node.cancel_timer t.node h;
+      t.tick_handle <- None
+  | None -> ());
+  let handle = Net.Node.set_timer t.node ~delay:t.current_tick (fun () -> on_tick t) in
+  t.tick_handle <- Some handle
+
+and on_tick t =
+  (* after deciding, linger to help slower processes, then go quiet *)
+  if Machine.decision t.machine <> None then
+    t.ticks_since_decision <- t.ticks_since_decision + 1;
+  if t.ticks_since_decision <= t.linger_ticks then begin
+    t.shell_stats.ticks <- t.shell_stats.ticks + 1;
+    (* same state as the previous broadcast? then the optimistic small
+       message was not enough — attach the justification (Section 6.2).
+       Justified frames are an order of magnitude longer than plain
+       ones, so while stuck we alternate justified and plain
+       rebroadcasts: sixteen stations all shipping bundles every 10 ms
+       would saturate the medium and collapse under collisions. *)
+    let stuck = Machine.same_state_as_last_broadcast t.machine in
+    if stuck then t.stuck_ticks <- t.stuck_ticks + 1 else t.stuck_ticks <- 0;
+    let justify = stuck && t.stuck_ticks mod 2 = 1 in
+    (match t.tick_policy with
+    | Fixed_tick -> ()
+    | Adaptive_tick { floor; factor } ->
+        t.current_tick <-
+          (if stuck then Float.max floor (t.current_tick *. factor)
+           else t.cfg.tick_interval));
+    broadcast_state t ~justify;
+    arm_tick t
+  end
+
+let react t events =
+  let phase_changed = ref false in
+  List.iter
+    (fun event ->
+      match event with
+      | Machine.Phase_changed p -> begin
+          phase_changed := true;
+          Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+            ~layer:"turquois" ~label:"phase" (string_of_int p);
+          match t.phase_cb with Some f -> f ~phase:p | None -> ()
+        end
+      | Machine.Decided { value; phase } -> begin
+          Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+            ~layer:"turquois" ~label:"decide"
+            (Printf.sprintf "value %d at phase %d" value phase);
+          match t.decide_cb with Some f -> f ~value ~phase | None -> ()
+        end)
+    events;
+  if !phase_changed then begin
+    (* a phase change triggers an immediate clock tick (§7.1) and, for
+       the adaptive policy, resets the pacing *)
+    t.current_tick <- t.cfg.tick_interval;
+    broadcast_state t ~justify:false;
+    arm_tick t
+  end
+
+let on_datagram t ~src:_ payload =
+  match Message.decode payload with
+  | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
+  | envelope ->
+      let events, auth_checks = Machine.handle t.machine envelope in
+      let per_check =
+        match t.auth_cost with
+        | Onetime_cost -> Net.Cost.onetime_check
+        | Rsa_cost -> Net.Cost.rsa_verify
+      in
+      Net.Node.charge t.node (float_of_int auth_checks *. per_check);
+      react t events
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Net.Node.listen t.node ~port:t.port (fun ~src payload -> on_datagram t ~src payload);
+    broadcast_state t ~justify:false;
+    arm_tick t
+  end

@@ -1,0 +1,92 @@
+(** The Turquois Byzantine k-consensus protocol (Algorithm 1).
+
+    Each instance runs on one simulated {!Net.Node.t}: task T1 is the
+    10 ms broadcast tick (re-armed immediately on phase changes, as in
+    the paper's prototype), task T2 is the message handler. Arriving
+    messages pass authenticity validation (one hash) and then semantic
+    validation; messages that cannot be validated yet wait in a pending
+    pool and are re-examined whenever V grows — this implements the
+    optimistic implicit validation with explicit justifications attached
+    to repeated broadcasts (Section 6.2).
+
+    Safety holds for any number of omission faults; with fewer than
+    σ omissions per round the instance keeps making progress, and
+    randomization ensures termination with probability 1. *)
+
+(** Retransmission pacing for task T1. The paper's prototype re-arms a
+    fixed 10 ms tick and notes that "an optimization of the
+    retransmission mechanism could significantly improve the performance
+    of Turquois" in loss-sensitive scenarios (§7.3). [Adaptive] is that
+    optimization: while the state does not change, the tick interval
+    backs {e down} multiplicatively to [floor] (faster recovery of lost
+    messages); any phase change resets it to the configured interval.
+    The ablation benchmark quantifies the difference. *)
+type tick_policy =
+  | Fixed_tick
+  | Adaptive_tick of { floor : float; factor : float }
+
+val default_adaptive : tick_policy
+(** Floor 2.5 ms, factor 0.5. *)
+
+(** CPU-cost model for message authentication — an ablation knob. The
+    protocol always uses the one-time hash signatures on the wire;
+    [Rsa_cost] charges each broadcast a public-key signing cost and each
+    authenticity check a public-key verification cost instead of a hash,
+    quantifying what the paper's contribution (3) saves. *)
+type auth_cost = Onetime_cost | Rsa_cost
+
+(** Re-export of {!Machine.behavior}. [Attacker] is the paper's
+    Byzantine strategy (§7.2): broadcast the opposite value in CONVERGE
+    and LOCK phases and ⊥ in DECIDE phases, even when the resulting
+    messages are invalid. *)
+type behavior = Machine.behavior = Correct | Attacker
+
+type stats = {
+  mutable ticks : int;            (** T1 activations *)
+  mutable broadcasts : int;       (** messages put on the air *)
+  mutable justified_broadcasts : int;  (** broadcasts carrying a bundle *)
+  mutable accepted : int;         (** messages admitted to V *)
+  mutable rejected_auth : int;    (** authenticity failures *)
+  mutable duplicates : int;       (** already in V *)
+  mutable pending_peak : int;     (** high-water mark of the pool *)
+}
+
+type t
+
+val create :
+  Net.Node.t ->
+  Proto.config ->
+  keyring:Keyring.t ->
+  ?behavior:behavior ->
+  ?port:int ->
+  ?tick_policy:tick_policy ->
+  ?linger_ticks:int ->
+  ?auth_cost:auth_cost ->
+  proposal:int ->
+  unit ->
+  t
+(** Binds an instance to a node. [proposal] is the initial binary value.
+    [port] defaults to 443 (any free datagram port works as long as all
+    instances agree). After deciding, the instance keeps broadcasting for
+    [linger_ticks] more T1 activations (default 50) so that slower
+    processes can still collect quorums and decision certificates, then
+    goes quiet. The instance is inert until {!start}.
+    @raise Invalid_argument on a bad config or proposal. *)
+
+val start : t -> unit
+(** Broadcasts the initial state and starts the tick timer. *)
+
+val on_decide : t -> (value:int -> phase:int -> unit) -> unit
+(** Called exactly once, when the decision variable is first set. *)
+
+val on_phase_change : t -> (phase:int -> unit) -> unit
+
+val id : t -> int
+val phase : t -> int
+val current_value : t -> Proto.value
+val current_status : t -> Proto.status
+val decision : t -> int option
+val decision_phase : t -> int option
+val stats : t -> stats
+val vset : t -> Vset.t
+(** The live V set — read-only use (tests, instrumentation). *)

@@ -1,0 +1,130 @@
+type verdict = Valid | Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun s -> Invalid s) fmt
+
+let highest_lock_phase_below phi =
+  let rec go p = if p < 2 then 0 else if p mod 3 = 2 then p else go (p - 1) in
+  go (phi - 1)
+
+let highest_decide_phase_below phi =
+  let rec go p = if p < 3 then 0 else if p mod 3 = 0 then p else go (p - 1) in
+  go (phi - 1)
+
+let check_phase cfg v (m : Message.t) =
+  if m.phase < 1 then invalidf "phase %d below 1" m.phase
+  else if m.phase > cfg.Proto.max_phases then invalidf "phase %d beyond key horizon" m.phase
+  else if m.phase = 1 then Valid
+  else begin
+    let support = Vset.count_phase v ~phase:(m.phase - 1) in
+    if Proto.quorum_exceeded cfg support then Valid
+    else invalidf "phase %d: only %d messages at phase %d" m.phase support (m.phase - 1)
+  end
+
+let binary_with_det (m : Message.t) k =
+  match (m.value, m.origin) with
+  | Proto.Vbot, _ -> invalidf "phase %d cannot carry bot" m.phase
+  | (Proto.V0 | Proto.V1), Proto.Random -> invalidf "phase %d cannot carry a coin value" m.phase
+  | (Proto.V0 | Proto.V1), Proto.Deterministic -> k m.value
+
+let check_value cfg v (m : Message.t) =
+  if m.phase = 1 then binary_with_det m (fun _ -> Valid)
+  else begin
+    match Proto.kind_of_phase m.phase with
+    | Proto.Lock ->
+        binary_with_det m (fun value ->
+            let support = Vset.count_value v ~phase:(m.phase - 1) ~value in
+            if Proto.half_quorum_exceeded cfg support then Valid
+            else
+              invalidf "lock value %s: %d supporters at phase %d"
+                (Proto.value_to_string value) support (m.phase - 1))
+    | Proto.Decide -> begin
+        match (m.value, m.origin) with
+        | _, Proto.Random -> invalidf "decide-phase value cannot be a coin value"
+        | Proto.Vbot, Proto.Deterministic ->
+            let zeros = Vset.count_value v ~phase:(m.phase - 2) ~value:Proto.V0 in
+            let ones = Vset.count_value v ~phase:(m.phase - 2) ~value:Proto.V1 in
+            if Proto.half_quorum_exceeded cfg zeros && Proto.half_quorum_exceeded cfg ones then
+              Valid
+            else
+              invalidf "bot value: split at phase %d is %d/%d" (m.phase - 2) zeros ones
+        | ((Proto.V0 | Proto.V1) as value), Proto.Deterministic ->
+            let support = Vset.count_value v ~phase:(m.phase - 1) ~value in
+            if Proto.quorum_exceeded cfg support then Valid
+            else
+              invalidf "decide value %s: %d supporters at phase %d"
+                (Proto.value_to_string value) support (m.phase - 1)
+      end
+    | Proto.Converge -> begin
+        match (m.value, m.origin) with
+        | Proto.Vbot, _ -> invalidf "converge-phase message cannot carry bot"
+        | ((Proto.V0 | Proto.V1) as value), Proto.Deterministic ->
+            let support = Vset.count_value v ~phase:(m.phase - 2) ~value in
+            if Proto.quorum_exceeded cfg support then Valid
+            else
+              invalidf "converge value %s: %d supporters at phase %d"
+                (Proto.value_to_string value) support (m.phase - 2)
+        | (Proto.V0 | Proto.V1), Proto.Random ->
+            let bots = Vset.count_value v ~phase:(m.phase - 1) ~value:Proto.Vbot in
+            if Proto.quorum_exceeded cfg bots then Valid
+            else invalidf "coin value: only %d bot messages at phase %d" bots (m.phase - 1)
+      end
+  end
+
+let decided_support cfg v (m : Message.t) =
+  (* [Q] support for the decided value at some DECIDE phase <= m.phase *)
+  let rec go phi0 =
+    if phi0 < 3 then false
+    else
+      Proto.quorum_exceeded cfg (Vset.count_value v ~phase:phi0 ~value:m.value)
+      || go (phi0 - 3)
+  in
+  go (m.phase - (m.phase mod 3))
+
+let check_status cfg v (m : Message.t) =
+  match m.status with
+  | Proto.Undecided ->
+      if m.phase <= 3 then Valid
+      else begin
+        (* The paper's rule: a 0/1 split of more than (n+f)/4 each at the
+           highest LOCK phase below φ. Taken alone that rule deadlocks in
+           reachable executions (a single process converging to the
+           minority value yields honest ⊥ and undecided messages with no
+           such split), so we also accept the transitive witness: a valid
+           ⊥ message at the highest DECIDE phase below φ, which itself
+           required a 0/1 split at the correct earlier phase. A Byzantine
+           process still cannot fabricate either witness after a
+           unanimous phase (f ≤ (n+f)/4 for n > 3f). *)
+        let phi' = highest_lock_phase_below m.phase in
+        let zeros = Vset.count_value v ~phase:phi' ~value:Proto.V0 in
+        let ones = Vset.count_value v ~phase:phi' ~value:Proto.V1 in
+        let split_witness =
+          Proto.half_quorum_exceeded cfg zeros && Proto.half_quorum_exceeded cfg ones
+        in
+        let bot_witness =
+          let phi0 = highest_decide_phase_below m.phase in
+          phi0 >= 3 && Vset.count_value v ~phase:phi0 ~value:Proto.Vbot >= 1
+        in
+        if split_witness || bot_witness then Valid
+        else invalidf "undecided at phase %d: split at %d is %d/%d and no bot witness"
+               m.phase phi' zeros ones
+      end
+  | Proto.Decided -> begin
+      match m.value with
+      | Proto.Vbot -> invalidf "decided message cannot carry bot"
+      | Proto.V0 | Proto.V1 ->
+          if m.phase <= 3 then invalidf "no process can decide before phase 3"
+          else if decided_support cfg v m then Valid
+          else invalidf "decided %s at phase %d lacks a deciding quorum"
+                 (Proto.value_to_string m.value) m.phase
+    end
+
+let semantic_check cfg v m =
+  match check_phase cfg v m with
+  | Invalid _ as bad -> bad
+  | Valid -> begin
+      match check_value cfg v m with
+      | Invalid _ as bad -> bad
+      | Valid -> check_status cfg v m
+    end
+
+let is_valid cfg v m = match semantic_check cfg v m with Valid -> true | Invalid _ -> false

@@ -1,0 +1,73 @@
+type t = {
+  n : int;
+  by_phase : (int, Message.t option array) Hashtbl.t;
+  mutable highest : Message.t option;
+  mutable total : int;
+}
+
+let create ~n = { n; by_phase = Hashtbl.create 32; highest = None; total = 0 }
+
+let row t phase =
+  match Hashtbl.find_opt t.by_phase phase with
+  | Some slots -> slots
+  | None ->
+      let slots = Array.make t.n None in
+      Hashtbl.add t.by_phase phase slots;
+      slots
+
+let add t (m : Message.t) =
+  if m.sender < 0 || m.sender >= t.n then false
+  else begin
+    let slots = row t m.phase in
+    match slots.(m.sender) with
+    | Some _ -> false
+    | None ->
+        slots.(m.sender) <- Some m;
+        t.total <- t.total + 1;
+        (match t.highest with
+        | Some h when h.phase >= m.phase -> ()
+        | Some _ | None -> t.highest <- Some m);
+        true
+  end
+
+let find t ~sender ~phase =
+  match Hashtbl.find_opt t.by_phase phase with
+  | None -> None
+  | Some slots -> if sender >= 0 && sender < t.n then slots.(sender) else None
+
+let mem t ~sender ~phase = find t ~sender ~phase <> None
+
+let fold_phase t phase f acc =
+  match Hashtbl.find_opt t.by_phase phase with
+  | None -> acc
+  | Some slots ->
+      Array.fold_left
+        (fun acc slot -> match slot with Some m -> f acc m | None -> acc)
+        acc slots
+
+let count_phase t ~phase = fold_phase t phase (fun acc _ -> acc + 1) 0
+
+let count_value t ~phase ~value =
+  fold_phase t phase
+    (fun acc (m : Message.t) -> if Proto.value_equal m.value value then acc + 1 else acc)
+    0
+
+let messages_at t ~phase = List.rev (fold_phase t phase (fun acc m -> m :: acc) [])
+
+let majority_value t ~phase =
+  let zeros = count_value t ~phase ~value:Proto.V0 in
+  let ones = count_value t ~phase ~value:Proto.V1 in
+  if zeros = 0 && ones = 0 then invalid_arg "Vset.majority_value: no binary values at phase";
+  if ones >= zeros then Proto.V1 else Proto.V0
+
+let some_binary_value t ~phase =
+  fold_phase t phase
+    (fun acc (m : Message.t) ->
+      match acc with
+      | Some _ -> acc
+      | None -> ( match m.value with Proto.V0 | Proto.V1 -> Some m.value | Proto.Vbot -> None))
+    None
+
+let max_phase t = match t.highest with Some m -> m.phase | None -> 0
+let highest_message t = t.highest
+let size t = t.total

@@ -1,0 +1,43 @@
+(** The set V_i of valid received messages (Algorithm 1, line 9).
+
+    At most one message per (sender, phase) is retained — the first
+    valid one — so every quorum count below counts distinct senders, as
+    the protocol's thresholds require. *)
+
+type t
+
+val create : n:int -> t
+
+val add : t -> Message.t -> bool
+(** [add t m] stores [m] unless a message from the same sender at the
+    same phase is already present; returns whether it was stored. *)
+
+val mem : t -> sender:int -> phase:int -> bool
+val find : t -> sender:int -> phase:int -> Message.t option
+
+val count_phase : t -> phase:int -> int
+(** Distinct senders with a message at [phase]. *)
+
+val count_value : t -> phase:int -> value:Proto.value -> int
+(** Distinct senders with a message at [phase] carrying [value]. *)
+
+val messages_at : t -> phase:int -> Message.t list
+(** All stored messages of a phase, ascending sender order. *)
+
+val majority_value : t -> phase:int -> Proto.value
+(** The value appearing most often at [phase] among {0, 1} (ties favor
+    [V1]); the CONVERGE-phase rule of line 21.
+    @raise Invalid_argument when no 0/1 message is stored at [phase]. *)
+
+val some_binary_value : t -> phase:int -> Proto.value option
+(** Some v ∈ {0,1} present at [phase], if any (line 32). *)
+
+val max_phase : t -> int
+(** Highest phase with at least one stored message; 0 when empty. *)
+
+val highest_message : t -> Message.t option
+(** A stored message of maximal phase (the trigger of transition
+    rule 1). *)
+
+val size : t -> int
+(** Total stored messages. *)

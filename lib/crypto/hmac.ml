@@ -1,0 +1,32 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let out = Bytes.make block_size '\000' in
+  Bytes.blit key 0 out 0 (Bytes.length key);
+  out
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  out
+
+let mac ~key data =
+  let key = normalize_key key in
+  let inner = Sha256.digest_concat [ xor_pad key 0x36; data ] in
+  Sha256.digest_concat [ xor_pad key 0x5c; inner ]
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)
+
+let verify ~key data ~tag =
+  let expected = mac ~key data in
+  if Bytes.length tag <> Bytes.length expected then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Bytes.length expected - 1 do
+      acc := !acc lor (Char.code (Bytes.get expected i) lxor Char.code (Bytes.get tag i))
+    done;
+    !acc = 0
+  end

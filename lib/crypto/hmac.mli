@@ -1,0 +1,13 @@
+(** HMAC-SHA-256 (RFC 2104).
+
+    Models the IPSec Authentication Header protection that the paper's
+    evaluation applies to Bracha's point-to-point channels, and provides
+    keyed integrity wherever the simulator needs it. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key data] is the 32-byte HMAC-SHA-256 tag. *)
+
+val mac_string : key:bytes -> string -> bytes
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-time comparison of the recomputed tag with [tag]. *)

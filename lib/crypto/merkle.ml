@@ -1,0 +1,102 @@
+(* Domain separation: leaf hashes use prefix 0x00, interior nodes 0x01,
+   so a leaf cannot be confused with an encoding of two children. Odd
+   last nodes are promoted to the next level unhashed. *)
+
+let leaf_hash data = Sha256.digest_concat [ Bytes.make 1 '\x00'; data ]
+let node_hash l r = Sha256.digest_concat [ Bytes.make 1 '\x01'; l; r ]
+
+type tree = { levels : bytes array array (* levels.(0) = leaf hashes *) }
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: no leaves";
+  let level0 = Array.of_list (List.map leaf_hash leaves) in
+  let rec grow acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let next =
+        Array.init
+          ((n + 1) / 2)
+          (fun i ->
+            if (2 * i) + 1 < n then node_hash level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      grow (level :: acc) next
+    end
+  in
+  { levels = Array.of_list (grow [] level0) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+let leaf_count t = Array.length t.levels.(0)
+
+type path = bytes option list
+(* bottom-up siblings; None where the node had no sibling *)
+
+let prove t ~index =
+  if index < 0 || index >= leaf_count t then invalid_arg "Merkle.prove: index out of range";
+  let rec go level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let sibling =
+        let j = if i mod 2 = 0 then i + 1 else i - 1 in
+        if j < Array.length nodes then Some nodes.(j) else None
+      in
+      go (level + 1) (i / 2) (sibling :: acc)
+    end
+  in
+  go 0 index []
+
+let verify ~root:expected ~index ~leaf path =
+  if index < 0 then false
+  else begin
+    let rec go i acc = function
+      | [] -> acc
+      | sibling :: rest ->
+          let acc =
+            match sibling with
+            | Some s -> if i mod 2 = 0 then node_hash acc s else node_hash s acc
+            | None -> acc
+          in
+          go (i / 2) acc rest
+    in
+    Bytes.equal (go index (leaf_hash leaf) path) expected
+  end
+
+let path_length p = List.length p
+
+let path_to_bytes p =
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.u16 w (List.length p);
+  List.iter
+    (fun entry ->
+      match entry with
+      | Some h ->
+          Util.Codec.W.u8 w 1;
+          Util.Codec.W.bytes w h
+      | None -> Util.Codec.W.u8 w 0)
+    p;
+  Util.Codec.W.contents w
+
+let path_of_bytes b =
+  let r = Util.Codec.R.of_bytes b in
+  let n = Util.Codec.R.u16 r in
+  let p =
+    List.init n (fun _ ->
+        match Util.Codec.R.u8 r with
+        | 1 -> Some (Util.Codec.R.bytes r Sha256.digest_size)
+        | 0 -> None
+        | _ -> raise (Util.Codec.Malformed "merkle path entry"))
+  in
+  Util.Codec.R.expect_end r;
+  p
+
+let rec depth_of leaves = if leaves <= 1 then 0 else 1 + depth_of ((leaves + 1) / 2)
+
+let path_size ~leaves =
+  if leaves < 1 then invalid_arg "Merkle.path_size";
+  2 + (depth_of leaves * (1 + Sha256.digest_size))
+
+let array_size ~leaves =
+  if leaves < 1 then invalid_arg "Merkle.array_size";
+  leaves * Sha256.digest_size

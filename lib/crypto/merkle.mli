@@ -1,0 +1,41 @@
+(** Merkle hash trees over byte-string leaves.
+
+    Supports the paper's Section 6.1 remark that the key-exchange scheme
+    "can be further optimized": instead of pre-distributing a process's
+    full verification-key array (5 × 32 bytes per phase), only the
+    32-byte Merkle root need travel out of band; each broadcast then
+    carries the verification key plus its log₂-length authentication
+    path. {!path_size} and {!array_size} quantify the trade-off. *)
+
+type tree
+
+val build : bytes list -> tree
+(** Builds the tree over the leaves in order. Leaf and node hashes are
+    domain-separated (second-preimage hardening), odd nodes are promoted
+    unhashed. @raise Invalid_argument on an empty leaf list. *)
+
+val root : tree -> bytes
+(** The 32-byte root commitment. *)
+
+val leaf_count : tree -> int
+
+type path
+(** Authentication path of one leaf: sibling hashes bottom-up. *)
+
+val prove : tree -> index:int -> path
+(** @raise Invalid_argument for an out-of-range index. *)
+
+val verify : root:bytes -> index:int -> leaf:bytes -> path -> bool
+(** Recomputes the root from [leaf] and the path. Total. *)
+
+val path_length : path -> int
+val path_to_bytes : path -> bytes
+val path_of_bytes : bytes -> path
+(** @raise Util.Codec.Malformed / Truncated on garbage. *)
+
+val path_size : leaves:int -> int
+(** Serialized byte size of a path for a tree of [leaves] leaves. *)
+
+val array_size : leaves:int -> int
+(** Byte size of distributing all leaves' hashes directly (the paper's
+    baseline VK-array distribution). *)

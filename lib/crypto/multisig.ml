@@ -1,0 +1,47 @@
+module Int_map = Map.Make (Int)
+
+type t = bytes Int_map.t
+
+let empty = Int_map.empty
+let add t ~signer ~signature = Int_map.add signer signature t
+let count t = Int_map.cardinal t
+let signers t = List.map fst (Int_map.bindings t)
+
+let create contributions =
+  List.fold_left (fun acc (signer, signature) -> add acc ~signer ~signature) empty contributions
+
+let verify ~keys ~msg ~k t =
+  let valid =
+    Int_map.fold
+      (fun signer signature acc ->
+        if signer >= 0 && signer < Array.length keys
+           && Rsa.verify keys.(signer) msg ~signature
+        then acc + 1
+        else acc)
+      t 0
+  in
+  valid >= k
+
+let to_bytes t =
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.u16 w (count t);
+  Int_map.iter
+    (fun signer signature ->
+      Util.Codec.W.u16 w signer;
+      Util.Codec.W.bytes_lp w signature)
+    t;
+  Util.Codec.W.contents w
+
+let of_bytes b =
+  let r = Util.Codec.R.of_bytes b in
+  let n = Util.Codec.R.u16 r in
+  let acc = ref empty in
+  for _ = 1 to n do
+    let signer = Util.Codec.R.u16 r in
+    let signature = Util.Codec.R.bytes_lp r in
+    acc := add !acc ~signer ~signature
+  done;
+  Util.Codec.R.expect_end r;
+  !acc
+
+let size t = Bytes.length (to_bytes t)

@@ -1,0 +1,35 @@
+(** k-of-n multisignatures: a set of individual RSA signatures over the
+    same message, standing in for the threshold signatures of the ABBA
+    protocol.
+
+    A justification that ABBA would carry as one threshold signature is
+    carried here as [k] individual signatures. Verification cost (k
+    public-key verifications) and the share-collection pattern are the
+    same, which is what matters for reproducing the evaluation; see
+    DESIGN.md §2. *)
+
+type t
+(** An aggregate: signer set plus their signatures over one message. *)
+
+val empty : t
+val add : t -> signer:int -> signature:bytes -> t
+(** Adds a signer's contribution; replaces any previous one by the same
+    signer. *)
+
+val count : t -> int
+val signers : t -> int list
+
+val create : (int * bytes) list -> t
+(** [create contributions] builds an aggregate from
+    [(signer, signature)] pairs. *)
+
+val verify : keys:Rsa.public array -> msg:bytes -> k:int -> t -> bool
+(** [verify ~keys ~msg ~k t] is [true] iff [t] holds valid signatures
+    over [msg] from at least [k] distinct in-range signers. *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** @raise Util.Codec.Malformed / Truncated on garbage. *)
+
+val size : t -> int
+(** Serialized size in bytes. *)

@@ -1,0 +1,133 @@
+(* RIPEMD-160 per the original specification: two parallel 80-step lines
+   over 16-word little-endian blocks. Words are native ints masked to 32
+   bits. *)
+
+let digest_size = 20
+let mask = 0xFFFFFFFF
+
+(* message word selection, left and right lines *)
+let r_left =
+  [|
+    0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15;
+    7; 4; 13; 1; 10; 6; 15; 3; 12; 0; 9; 5; 2; 14; 11; 8;
+    3; 10; 14; 4; 9; 15; 8; 1; 2; 7; 0; 6; 13; 11; 5; 12;
+    1; 9; 11; 10; 0; 8; 12; 4; 13; 3; 7; 15; 14; 5; 6; 2;
+    4; 0; 5; 9; 7; 12; 2; 10; 14; 1; 3; 8; 11; 6; 15; 13;
+  |]
+
+let r_right =
+  [|
+    5; 14; 7; 0; 9; 2; 11; 4; 13; 6; 15; 8; 1; 10; 3; 12;
+    6; 11; 3; 7; 0; 13; 5; 10; 14; 15; 8; 12; 4; 9; 1; 2;
+    15; 5; 1; 3; 7; 14; 6; 9; 11; 8; 12; 2; 10; 0; 4; 13;
+    8; 6; 4; 1; 3; 11; 15; 0; 5; 12; 2; 13; 9; 7; 10; 14;
+    12; 15; 10; 4; 1; 5; 8; 7; 6; 2; 13; 14; 0; 3; 9; 11;
+  |]
+
+(* per-step left rotations *)
+let s_left =
+  [|
+    11; 14; 15; 12; 5; 8; 7; 9; 11; 13; 14; 15; 6; 7; 9; 8;
+    7; 6; 8; 13; 11; 9; 7; 15; 7; 12; 15; 9; 11; 7; 13; 12;
+    11; 13; 6; 7; 14; 9; 13; 15; 14; 8; 13; 6; 5; 12; 7; 5;
+    11; 12; 14; 15; 14; 15; 9; 8; 9; 14; 5; 6; 8; 6; 5; 12;
+    9; 15; 5; 11; 6; 8; 13; 12; 5; 12; 13; 14; 11; 8; 5; 6;
+  |]
+
+let s_right =
+  [|
+    8; 9; 9; 11; 13; 15; 15; 5; 7; 7; 8; 11; 14; 14; 12; 6;
+    9; 13; 15; 7; 12; 8; 9; 11; 7; 7; 12; 7; 6; 15; 13; 11;
+    9; 7; 15; 11; 8; 6; 6; 14; 12; 13; 5; 14; 13; 13; 7; 5;
+    15; 5; 8; 11; 14; 14; 6; 14; 6; 9; 12; 9; 12; 5; 15; 8;
+    8; 5; 12; 9; 12; 5; 14; 6; 8; 13; 6; 5; 15; 13; 11; 11;
+  |]
+
+let k_left = [| 0x00000000; 0x5A827999; 0x6ED9EBA1; 0x8F1BBCDC; 0xA953FD4E |]
+let k_right = [| 0x50A28BE6; 0x5C4DD124; 0x6D703EF3; 0x7A6D76E9; 0x00000000 |]
+
+let rol x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let f round x y z =
+  match round with
+  | 0 -> x lxor y lxor z
+  | 1 -> (x land y) lor (lnot x land z)
+  | 2 -> (x lor lnot y) lxor z
+  | 3 -> (x land z) lor (y land lnot z)
+  | _ -> x lxor (y lor lnot z)
+
+let compress h block off =
+  let x = Array.make 16 0 in
+  for i = 0 to 15 do
+    let j = off + (4 * i) in
+    x.(i) <-
+      Char.code (Bytes.get block j)
+      lor (Char.code (Bytes.get block (j + 1)) lsl 8)
+      lor (Char.code (Bytes.get block (j + 2)) lsl 16)
+      lor (Char.code (Bytes.get block (j + 3)) lsl 24)
+  done;
+  let al = ref h.(0) and bl = ref h.(1) and cl = ref h.(2) and dl = ref h.(3) and el = ref h.(4) in
+  let ar = ref h.(0) and br = ref h.(1) and cr = ref h.(2) and dr = ref h.(3) and er = ref h.(4) in
+  for j = 0 to 79 do
+    let round = j / 16 in
+    (* left line uses f1..f5, right line f5..f1 *)
+    let tl =
+      (rol
+         ((!al + f round !bl !cl !dl + x.(r_left.(j)) + k_left.(round)) land mask)
+         s_left.(j)
+      + !el)
+      land mask
+    in
+    al := !el;
+    el := !dl;
+    dl := rol !cl 10;
+    cl := !bl;
+    bl := tl;
+    let tr =
+      (rol
+         ((!ar + f (4 - round) !br !cr !dr + x.(r_right.(j)) + k_right.(round)) land mask)
+         s_right.(j)
+      + !er)
+      land mask
+    in
+    ar := !er;
+    er := !dr;
+    dr := rol !cr 10;
+    cr := !br;
+    br := tr
+  done;
+  let t = (h.(1) + !cl + !dr) land mask in
+  h.(1) <- (h.(2) + !dl + !er) land mask;
+  h.(2) <- (h.(3) + !el + !ar) land mask;
+  h.(3) <- (h.(4) + !al + !br) land mask;
+  h.(4) <- (h.(0) + !bl + !cr) land mask;
+  h.(0) <- t
+
+let digest data =
+  let h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |] in
+  let len = Bytes.length data in
+  (* pad: 0x80, zeros, 64-bit little-endian bit length *)
+  let rem = (len + 1 + 8) mod 64 in
+  let pad = if rem = 0 then 0 else 64 - rem in
+  let total = len + 1 + pad + 8 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit data 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set buf (total - 8 + i) (Char.chr ((bitlen lsr (8 * i)) land 0xFF))
+  done;
+  let blocks = total / 64 in
+  for b = 0 to blocks - 1 do
+    compress h buf (64 * b)
+  done;
+  let out = Bytes.create 20 in
+  for i = 0 to 4 do
+    for j = 0 to 3 do
+      Bytes.set out ((4 * i) + j) (Char.chr ((h.(i) lsr (8 * j)) land 0xFF))
+    done
+  done;
+  out
+
+let digest_string s = digest (Bytes.of_string s)
+let hex_digest_string s = Util.Codec.hex (digest_string s)

@@ -1,0 +1,13 @@
+(** RIPEMD-160 (Dobbertin–Bosselaers–Preneel).
+
+    The paper's Section 6.1 names RIPEMD-160 alongside SHA-256 as a
+    suitable one-way function [H] for the one-time signature scheme; this
+    is the drop-in 20-byte alternative for deployments that prefer the
+    smaller keys (a VK array shrinks by 37.5%). *)
+
+val digest_size : int
+(** 20. *)
+
+val digest : bytes -> bytes
+val digest_string : string -> bytes
+val hex_digest_string : string -> string

@@ -1,0 +1,70 @@
+type public = { n : Znum.t; e : Znum.t }
+type secret = { n : Znum.t; d : Znum.t }
+type keypair = { pub : public; sec : secret }
+
+let public_exponent = Znum.of_int 65537
+
+let generate rng ~bits =
+  if bits < 384 then invalid_arg "Rsa.generate: modulus too small to sign a SHA-256 digest";
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = Prime.random_prime rng ~bits:half in
+    let q = Prime.random_prime rng ~bits:(bits - half) in
+    if Znum.equal p q then attempt ()
+    else begin
+      let n = Znum.mul p q in
+      let p1 = Znum.sub p Znum.one and q1 = Znum.sub q Znum.one in
+      let lambda = Znum.div (Znum.mul p1 q1) (Znum.gcd p1 q1) in
+      match Znum.mod_inv public_exponent ~m:lambda with
+      | None -> attempt ()
+      | Some d -> { pub = { n; e = public_exponent }; sec = { n; d } }
+    end
+  in
+  attempt ()
+
+let modulus_size n = (Znum.bit_length n + 7) / 8
+let signature_size (pk : public) = modulus_size pk.n
+
+(* 0x00 0x01 0xFF... 0x00 digest — enough structure to reject random
+   forgeries, which is all the simulation requires. *)
+let pad_digest ~len digest =
+  let dlen = Bytes.length digest in
+  if len < dlen + 11 then invalid_arg "Rsa.pad_digest: modulus too small for digest";
+  let out = Bytes.make len '\xff' in
+  Bytes.set out 0 '\x00';
+  Bytes.set out 1 '\x01';
+  Bytes.set out (len - dlen - 1) '\x00';
+  Bytes.blit digest 0 out (len - dlen) dlen;
+  out
+
+let sign (sk : secret) msg =
+  let len = modulus_size sk.n in
+  let padded = Znum.of_bytes_be (pad_digest ~len (Sha256.digest msg)) in
+  let s = Znum.mod_pow ~base:padded ~exp:sk.d ~m:sk.n in
+  Znum.to_bytes_be ~len s
+
+let verify (pk : public) msg ~signature =
+  let len = modulus_size pk.n in
+  if Bytes.length signature <> len then false
+  else begin
+    let s = Znum.of_bytes_be signature in
+    if Znum.compare s pk.n >= 0 then false
+    else begin
+      let m = Znum.mod_pow ~base:s ~exp:pk.e ~m:pk.n in
+      let expected = Znum.of_bytes_be (pad_digest ~len (Sha256.digest msg)) in
+      Znum.equal m expected
+    end
+  end
+
+let public_to_bytes (pk : public) =
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.bytes_lp w (Znum.to_bytes_be pk.n);
+  Util.Codec.W.bytes_lp w (Znum.to_bytes_be pk.e);
+  Util.Codec.W.contents w
+
+let public_of_bytes b =
+  let r = Util.Codec.R.of_bytes b in
+  let n = Znum.of_bytes_be (Util.Codec.R.bytes_lp r) in
+  let e = Znum.of_bytes_be (Util.Codec.R.bytes_lp r) in
+  Util.Codec.R.expect_end r;
+  { n; e }

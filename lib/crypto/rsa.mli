@@ -1,0 +1,30 @@
+(** RSA signatures (hash-and-pad, PKCS#1 v1.5 style).
+
+    This is the trapdoor one-way function [F] of the paper's key-exchange
+    procedure (it signs the arrays of verification keys) and the workhorse
+    of the ABBA baseline, which — unlike Turquois — uses public-key
+    signatures on its critical path. *)
+
+type public = { n : Znum.t; e : Znum.t }
+type secret = { n : Znum.t; d : Znum.t }
+type keypair = { pub : public; sec : secret }
+
+val generate : Util.Rng.t -> bits:int -> keypair
+(** [generate rng ~bits] creates a modulus of [bits] bits (two primes of
+    [bits/2]), public exponent 65537.
+    @raise Invalid_argument if [bits < 384] (the padded SHA-256 digest must fit). *)
+
+val sign : secret -> bytes -> bytes
+(** [sign sk msg] hashes [msg] with SHA-256, pads, and exponentiates.
+    The signature length is the modulus length in bytes. *)
+
+val verify : public -> bytes -> signature:bytes -> bool
+(** [verify pk msg ~signature] checks an alleged signature; total —
+    malformed input returns [false] rather than raising. *)
+
+val public_to_bytes : public -> bytes
+val public_of_bytes : bytes -> public
+(** @raise Util.Codec.Malformed / Truncated on garbage. *)
+
+val signature_size : public -> int
+(** Modulus size in bytes. *)

@@ -1,0 +1,51 @@
+type share = { index : int; value : Znum.t }
+
+let deal rng ~q ~secret ~threshold ~n =
+  if threshold < 1 || threshold > n then invalid_arg "Shamir.deal: need 1 <= threshold <= n";
+  if Znum.sign q <= 0 then invalid_arg "Shamir.deal: q must be positive";
+  (* coefficients a_0 = secret, a_1 .. a_{t-1} random *)
+  let coeffs =
+    Array.init threshold (fun i ->
+        if i = 0 then Znum.emod secret q else Prime.random_below rng q)
+  in
+  let eval x =
+    (* Horner, mod q *)
+    let acc = ref Znum.zero in
+    for i = threshold - 1 downto 0 do
+      acc := Znum.emod (Znum.add (Znum.mul !acc x) coeffs.(i)) q
+    done;
+    !acc
+  in
+  List.init n (fun i ->
+      let index = i + 1 in
+      { index; value = eval (Znum.of_int index) })
+
+let lagrange_at_zero ~q indices =
+  let distinct = List.sort_uniq compare indices in
+  if List.length distinct <> List.length indices then
+    invalid_arg "Shamir.lagrange_at_zero: duplicate indices";
+  if List.exists (fun i -> i <= 0) indices then
+    invalid_arg "Shamir.lagrange_at_zero: indices must be positive";
+  let coefficient i =
+    (* λ_i(0) = Π_{j≠i} (-j) / (i - j) mod q *)
+    let num = ref Znum.one and den = ref Znum.one in
+    List.iter
+      (fun j ->
+        if j <> i then begin
+          num := Znum.emod (Znum.mul !num (Znum.of_int (-j))) q;
+          den := Znum.emod (Znum.mul !den (Znum.of_int (i - j))) q
+        end)
+      indices;
+    match Znum.mod_inv !den ~m:q with
+    | None -> invalid_arg "Shamir.lagrange_at_zero: non-invertible denominator"
+    | Some inv -> Znum.emod (Znum.mul !num inv) q
+  in
+  List.map (fun i -> (i, coefficient i)) indices
+
+let reconstruct ~q shares =
+  let lambdas = lagrange_at_zero ~q (List.map (fun s -> s.index) shares) in
+  List.fold_left
+    (fun acc s ->
+      let lambda = List.assoc s.index lambdas in
+      Znum.emod (Znum.add acc (Znum.mul lambda s.value)) q)
+    Znum.zero shares

@@ -1,0 +1,25 @@
+(** Shamir secret sharing over a prime field Z_q.
+
+    Dealer side of the threshold common coin: the coin secret is shared
+    so that any [threshold] of the [n] parties can jointly evaluate the
+    coin while fewer learn nothing. Share indices are 1-based (index 0
+    is the secret itself). *)
+
+type share = { index : int; value : Znum.t }
+
+val deal :
+  Util.Rng.t -> q:Znum.t -> secret:Znum.t -> threshold:int -> n:int -> share list
+(** [deal rng ~q ~secret ~threshold ~n] samples a degree
+    [threshold - 1] polynomial with constant term [secret mod q] and
+    returns the [n] evaluations at 1..n.
+    @raise Invalid_argument unless [1 <= threshold <= n] and [q] prime
+    field size is positive. *)
+
+val lagrange_at_zero : q:Znum.t -> int list -> (int * Znum.t) list
+(** [lagrange_at_zero ~q indices] gives each index its Lagrange
+    coefficient λ_i(0) mod q for the interpolation set [indices].
+    @raise Invalid_argument on duplicate or non-positive indices. *)
+
+val reconstruct : q:Znum.t -> share list -> Znum.t
+(** Interpolates the secret at x = 0 from exactly the given shares
+    (at least [threshold] of them must be supplied for correctness). *)

@@ -1,0 +1,123 @@
+type adversary = Random_omissions | Target_victims
+
+type outcome = {
+  deciders : int;
+  rounds_to_k : int option;
+  agreement : bool;
+  validity : bool;
+}
+
+let sigma ~n ~k ~t =
+  let cfg = { (Core.Proto.default_config ~n) with k } in
+  Core.Proto.sigma cfg ~t
+
+let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_omissions)
+    ~omissions ~rounds ~seed () =
+  let rng = Util.Rng.create ~seed in
+  let cfg = { (Core.Proto.default_config ~n) with k; max_phases = 3 * rounds + 9 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:cfg.max_phases () in
+  let proposals = Runner.proposals dist ~n in
+  let machines =
+    Array.init n (fun i ->
+        let behavior =
+          if List.mem i byzantine then Core.Machine.Attacker else Core.Machine.Correct
+        in
+        Core.Machine.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+          ~proposal:proposals.(i) ())
+  in
+  let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n (fun i -> i)) in
+  let c = List.length correct in
+  let is_correct i = not (List.mem i byzantine) in
+  (* all (sender, receiver) pairs between distinct correct processes *)
+  let correct_pairs =
+    List.concat_map
+      (fun s -> List.filter_map (fun r -> if r <> s then Some (s, r) else None) correct)
+      correct
+  in
+  let choose_dropped () =
+    match adversary with
+    | Random_omissions ->
+        let pairs = Array.of_list correct_pairs in
+        Util.Rng.shuffle rng pairs;
+        let count = min omissions (Array.length pairs) in
+        Array.to_list (Array.sub pairs 0 count)
+    | Target_victims ->
+        (* silence whole victims while the budget lasts, then starve the
+           next process with the remainder *)
+        let budget = ref omissions in
+        let dropped = ref [] in
+        let per_victim = c - 1 in
+        List.iter
+          (fun v ->
+            if !budget >= per_victim && per_victim > 0 then begin
+              List.iter
+                (fun s -> if s <> v && is_correct s then dropped := (s, v) :: !dropped)
+                correct;
+              budget := !budget - per_victim
+            end
+            else if !budget > 0 then begin
+              (* partial starvation of this process *)
+              let incoming = List.filter (fun s -> s <> v && is_correct s) correct in
+              List.iteri
+                (fun idx s ->
+                  if idx < !budget then dropped := (s, v) :: !dropped)
+                incoming;
+              budget := max 0 (!budget - List.length incoming)
+            end)
+          (List.rev correct);
+        !dropped
+  in
+  let decided_round = Array.make n None in
+  let rounds_to_k = ref None in
+  let round = ref 0 in
+  let finished () = List.for_all (fun i -> decided_round.(i) <> None) correct in
+  while !round < rounds && not (finished ()) do
+    incr round;
+    let dropped = choose_dropped () in
+    let is_dropped s r = List.mem (s, r) dropped in
+    (* broadcast phase: everyone prepares (self-insertion happens in
+       prepare), then deliveries happen "simultaneously" *)
+    let envelopes =
+      Array.map (fun m -> Core.Machine.prepare m ~justify:true) machines
+    in
+    Array.iteri
+      (fun s envelope ->
+        match envelope with
+        | None -> ()
+        | Some env ->
+            List.iter
+              (fun r ->
+                if r <> s then begin
+                  let suppressed = is_correct s && is_correct r && is_dropped s r in
+                  if not suppressed then begin
+                    let events, _ = Core.Machine.handle machines.(r) env in
+                    List.iter
+                      (fun event ->
+                        match event with
+                        | Core.Machine.Decided _ when is_correct r ->
+                            if decided_round.(r) = None then
+                              decided_round.(r) <- Some !round
+                        | Core.Machine.Decided _ | Core.Machine.Phase_changed _ -> ())
+                      events
+                  end
+                end)
+              (List.init n (fun i -> i)))
+      envelopes;
+    let deciders_now =
+      List.length (List.filter (fun i -> decided_round.(i) <> None) correct)
+    in
+    if deciders_now >= k && !rounds_to_k = None then rounds_to_k := Some !round
+  done;
+  let deciders = List.length (List.filter (fun i -> decided_round.(i) <> None) correct) in
+  let decisions =
+    List.filter_map (fun i -> Core.Machine.decision machines.(i)) correct
+  in
+  let agreement =
+    match decisions with [] -> true | v0 :: rest -> List.for_all (fun v -> v = v0) rest
+  in
+  let validity =
+    match dist with
+    | Runner.Unanimous -> List.for_all (fun v -> v = 1) decisions
+    | Runner.Divergent -> true
+  in
+  { deciders; rounds_to_k = !rounds_to_k; agreement; validity }

@@ -1,0 +1,47 @@
+(** Abstract synchronous-round simulator over the pure protocol machine.
+
+    Strips away the radio, MAC and timers and exposes exactly the model
+    of Sections 3–5: in each round every process broadcasts its state,
+    and an adversary suppresses up to σ of the n·(n−c) transmissions
+    between correct processes. This isolates the paper's liveness claim
+    — progress is guaranteed in rounds with at most
+    σ = ⌈(n−t)/2⌉(n−k−t)+k−2 omissions — from all networking effects.
+
+    Broadcasts always carry their explicit justification (the abstract
+    model's processes are memoryless across rounds about retransmission,
+    so the pessimistic encoding keeps validation self-contained). *)
+
+type adversary =
+  | Random_omissions
+      (** each round, a uniformly random set of σ (sender, receiver)
+          pairs among correct processes is suppressed *)
+  | Target_victims
+      (** the adversary's strongest pattern: completely silence
+          n−k−t victims (isolating them costs (n−t−1) omissions each
+          ... bounded by σ) and then starve one more process just below
+          its quorum with the remaining budget *)
+
+type outcome = {
+  deciders : int;        (** correct processes decided at the horizon *)
+  rounds_to_k : int option;
+      (** first round where at least k correct processes had decided *)
+  agreement : bool;
+  validity : bool;
+}
+
+val sigma : n:int -> k:int -> t:int -> int
+(** The paper's bound (re-exported from {!Core.Proto} for the sweep). *)
+
+val run :
+  n:int ->
+  k:int ->
+  ?byzantine:int list ->
+  ?dist:Runner.dist ->
+  ?adversary:adversary ->
+  omissions:int ->
+  rounds:int ->
+  seed:int64 ->
+  unit ->
+  outcome
+(** Runs [rounds] synchronous rounds with exactly [omissions] suppressed
+    transmissions per round (fewer when not that many exist). *)

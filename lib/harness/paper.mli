@@ -1,0 +1,14 @@
+(** The published numbers of Tables 1–3 (DSN 2010), for side-by-side
+    comparison in EXPERIMENTS.md and in the benchmark output. Values are
+    average latency and 95% confidence half-width, in milliseconds. *)
+
+val value :
+  load:Net.Fault.load ->
+  protocol:Runner.protocol ->
+  n:int ->
+  dist:Runner.dist ->
+  (float * float) option
+(** [None] for group sizes the paper did not measure. *)
+
+val group_sizes : int list
+(** 4, 7, 10, 13, 16. *)

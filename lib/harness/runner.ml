@@ -1,0 +1,173 @@
+type protocol = Turquois | Bracha | Abba
+
+let protocol_to_string = function
+  | Turquois -> "Turquois"
+  | Bracha -> "Bracha"
+  | Abba -> "ABBA"
+
+type dist = Unanimous | Divergent
+
+let dist_to_string = function Unanimous -> "unanimous" | Divergent -> "divergent"
+
+let proposals dist ~n =
+  match dist with
+  | Unanimous -> Array.make n 1
+  | Divergent -> Array.init n (fun i -> i mod 2)
+
+type result = {
+  latencies : (int * float) list;
+  decisions : (int * int) list;
+  decision_phases : (int * int) list;
+  correct : int list;
+  agreement : bool;
+  validity : bool;
+  duration : float;
+  timed_out : bool;
+  frames_sent : int;
+  bytes_sent : int;
+}
+
+(* Key material caches — the paper generates and distributes all keys
+   before the experiments start, so reusing them across repetitions is
+   faithful (and keeps the simulation fast). Generation is seeded
+   deterministically per group size. *)
+let turquois_keys : (int, Core.Keyring.t array) Hashtbl.t = Hashtbl.create 8
+let abba_keys : (int, Baselines.Abba.group_keys) Hashtbl.t = Hashtbl.create 8
+
+let key_phases = 300
+
+let turquois_keyrings ~n =
+  match Hashtbl.find_opt turquois_keys n with
+  | Some k -> k
+  | None ->
+      let rng = Util.Rng.create ~seed:(Int64.of_int (0x7153 + n)) in
+      let k = Core.Keyring.setup rng ~n ~phases:key_phases () in
+      Hashtbl.add turquois_keys n k;
+      k
+
+let abba_group_keys ~n =
+  match Hashtbl.find_opt abba_keys n with
+  | Some k -> k
+  | None ->
+      let rng = Util.Rng.create ~seed:(Int64.of_int (0xabba + n)) in
+      let k = Baselines.Abba.setup_keys rng ~n ~f:(Net.Fault.max_f n) () in
+      Hashtbl.add abba_keys n k;
+      k
+
+let clear_key_cache () =
+  Hashtbl.reset turquois_keys;
+  Hashtbl.reset abba_keys
+
+(* Start offsets model the signaling machine's 1-byte UDP broadcast:
+   one frame airtime plus small per-node reception jitter. *)
+let start_time rng =
+  Net.Mac.airtime_broadcast ~payload_bytes:29 +. Util.Rng.float rng 200.0e-6
+
+let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
+    ?(timeout = 120.0) ~seed () =
+  let engine = Net.Engine.create () in
+  let rng = Util.Rng.create ~seed in
+  let radio = Net.Radio.create engine (Util.Rng.split rng) ~n in
+  Net.Fault.apply_conditions radio conditions;
+  Net.Fault.apply_crashes radio ~n load;
+  let faulty = Net.Fault.faulty_set ~n load in
+  let crashed = match load with Net.Fault.Fail_stop -> faulty | _ -> [] in
+  let byzantine = match load with Net.Fault.Byzantine -> faulty | _ -> [] in
+  let correct =
+    List.filter (fun i -> not (List.mem i faulty)) (List.init n (fun i -> i))
+  in
+  let proposals = proposals dist ~n in
+  let nodes =
+    Array.init n (fun id -> Net.Node.create engine radio ~id ~rng:(Util.Rng.split rng))
+  in
+  let starts = Array.init n (fun _ -> start_time rng) in
+  let decide_time : (int, float) Hashtbl.t = Hashtbl.create n in
+  let decide_value : (int, int) Hashtbl.t = Hashtbl.create n in
+  let decide_phase : (int, int) Hashtbl.t = Hashtbl.create n in
+  let record i value phase =
+    if not (Hashtbl.mem decide_time i) then begin
+      Hashtbl.replace decide_time i (Net.Engine.now engine -. starts.(i));
+      Hashtbl.replace decide_value i value;
+      Hashtbl.replace decide_phase i phase
+    end
+  in
+  let launch i (start : unit -> unit) =
+    if not (List.mem i crashed) then
+      ignore (Net.Engine.at engine ~time:starts.(i) start)
+  in
+  (match protocol with
+  | Turquois ->
+      let cfg = { (Core.Proto.default_config ~n) with max_phases = key_phases } in
+      let keyrings = turquois_keyrings ~n in
+      Array.iteri
+        (fun i node ->
+          let behavior =
+            if List.mem i byzantine then Core.Turquois.Attacker else Core.Turquois.Correct
+          in
+          let p =
+            Core.Turquois.create node cfg ~keyring:keyrings.(i) ~behavior
+              ~proposal:proposals.(i) ()
+          in
+          if not (List.mem i byzantine) then
+            Core.Turquois.on_decide p (fun ~value ~phase -> record i value phase);
+          launch i (fun () -> Core.Turquois.start p))
+        nodes
+  | Bracha ->
+      let f = Net.Fault.max_f n in
+      Array.iteri
+        (fun i node ->
+          let behavior =
+            if List.mem i byzantine then Baselines.Bracha.Attacker
+            else Baselines.Bracha.Correct
+          in
+          let p =
+            Baselines.Bracha.create node ~n ~f ~behavior ~proposal:proposals.(i) ()
+          in
+          if not (List.mem i byzantine) then
+            Baselines.Bracha.on_decide p (fun ~value ~round -> record i value round);
+          launch i (fun () -> Baselines.Bracha.start p))
+        nodes
+  | Abba ->
+      let keys = abba_group_keys ~n in
+      Array.iteri
+        (fun i node ->
+          let behavior =
+            if List.mem i byzantine then Baselines.Abba.Attacker else Baselines.Abba.Correct
+          in
+          let p = Baselines.Abba.create node ~keys ~behavior ~proposal:proposals.(i) () in
+          if not (List.mem i byzantine) then
+            Baselines.Abba.on_decide p (fun ~value ~round -> record i value round);
+          launch i (fun () -> Baselines.Abba.start p))
+        nodes);
+  let all_correct_decided () =
+    List.for_all (fun i -> Hashtbl.mem decide_time i) correct
+  in
+  Net.Engine.run_while engine (fun () ->
+      Net.Engine.now engine < timeout && not (all_correct_decided ()));
+  let timed_out = not (all_correct_decided ()) in
+  let latencies = List.filter_map (fun i -> Option.map (fun l -> (i, l)) (Hashtbl.find_opt decide_time i)) correct in
+  let decisions = List.filter_map (fun i -> Option.map (fun v -> (i, v)) (Hashtbl.find_opt decide_value i)) correct in
+  let decision_phases = List.filter_map (fun i -> Option.map (fun p -> (i, p)) (Hashtbl.find_opt decide_phase i)) correct in
+  let agreement =
+    match decisions with
+    | [] -> true
+    | (_, v0) :: rest -> List.for_all (fun (_, v) -> v = v0) rest
+  in
+  let validity =
+    match dist with
+    | Unanimous -> List.for_all (fun (_, v) -> v = 1) decisions
+    | Divergent -> true
+  in
+  let radio_stats = Net.Radio.stats radio in
+  {
+    latencies;
+    decisions;
+    decision_phases;
+    correct;
+    agreement;
+    validity;
+    duration = Net.Engine.now engine;
+    timed_out;
+    frames_sent = radio_stats.frames_sent;
+    bytes_sent = radio_stats.bytes_sent;
+  }

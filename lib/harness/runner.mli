@@ -1,0 +1,56 @@
+(** Single-run experiment driver.
+
+    Reproduces the paper's methodology (§7.2): n processes on one
+    simulated 802.11b broadcast domain; a signaling broadcast starts
+    every process (modeled as a small randomized start offset); each
+    process records the interval between proposing and deciding. The
+    run ends when every correct process decides, or at the timeout.
+
+    Key material is expensive to generate, so it is cached per group
+    size and shared across repetitions — exactly as the paper
+    pre-distributes keys before its runs. *)
+
+type protocol = Turquois | Bracha | Abba
+
+val protocol_to_string : protocol -> string
+
+type dist = Unanimous | Divergent
+
+val dist_to_string : dist -> string
+
+val proposals : dist -> n:int -> int array
+(** Unanimous: all 1. Divergent: odd ids propose 1, even ids 0 (§7.2). *)
+
+type result = {
+  latencies : (int * float) list;
+      (** (process id, seconds from its proposal to its decision),
+          correct processes that decided *)
+  decisions : (int * int) list;    (** (process id, decided value) *)
+  decision_phases : (int * int) list;
+      (** (process id, phase/round at decision) *)
+  correct : int list;              (** ids measured (not crashed/Byzantine) *)
+  agreement : bool;                (** no two decided values differ *)
+  validity : bool;
+      (** unanimous runs: every decision equals the proposed value *)
+  duration : float;                (** simulated seconds until run end *)
+  timed_out : bool;
+  frames_sent : int;               (** radio frames over the run *)
+  bytes_sent : int;
+}
+
+val run :
+  protocol:protocol ->
+  n:int ->
+  dist:dist ->
+  load:Net.Fault.load ->
+  ?conditions:Net.Fault.conditions ->
+  ?timeout:float ->
+  seed:int64 ->
+  unit ->
+  result
+(** One consensus execution. [conditions] defaults to
+    {!Net.Fault.benign_conditions}; [timeout] to 120 simulated
+    seconds. *)
+
+val clear_key_cache : unit -> unit
+(** Drops the cached key material (for tests that need fresh keys). *)

@@ -1,0 +1,220 @@
+type sigma_row = {
+  omissions : int;
+  adversary : Abstract_rounds.adversary;
+  runs : int;
+  k_reached : int;
+  mean_rounds : float option;
+  agreement_violations : int;
+  validity_violations : int;
+}
+
+let sigma_sweep ~n ~k ?(byzantine = []) ?(dist = Runner.Divergent) ?(rounds = 120)
+    ?(runs_per_point = 10) ?(beyond = 4) ?(base_seed = 4242L) () =
+  let t = List.length byzantine in
+  let bound = Abstract_rounds.sigma ~n ~k ~t in
+  let points = List.init (bound + beyond + 1) (fun i -> i) in
+  List.concat_map
+    (fun adversary ->
+      List.map
+        (fun omissions ->
+          let successes = ref 0 in
+          let rounds_acc = ref [] in
+          let agreement_violations = ref 0 in
+          let validity_violations = ref 0 in
+          for run = 0 to runs_per_point - 1 do
+            let seed =
+              Int64.add base_seed (Int64.of_int ((omissions * 1009) + run))
+            in
+            let outcome =
+              Abstract_rounds.run ~n ~k ~byzantine ~dist ~adversary ~omissions ~rounds
+                ~seed ()
+            in
+            (match outcome.rounds_to_k with
+            | Some r ->
+                incr successes;
+                rounds_acc := float_of_int r :: !rounds_acc
+            | None -> ());
+            if not outcome.agreement then incr agreement_violations;
+            if not outcome.validity then incr validity_violations
+          done;
+          {
+            omissions;
+            adversary;
+            runs = runs_per_point;
+            k_reached = !successes;
+            mean_rounds =
+              (match !rounds_acc with [] -> None | l -> Some (Util.Stats.mean l));
+            agreement_violations = !agreement_violations;
+            validity_violations = !validity_violations;
+          })
+        points)
+    [ Abstract_rounds.Random_omissions; Abstract_rounds.Target_victims ]
+
+let adversary_to_string = function
+  | Abstract_rounds.Random_omissions -> "random"
+  | Abstract_rounds.Target_victims -> "targeted"
+
+let render_sigma ~n ~k ~t rows =
+  let bound = Abstract_rounds.sigma ~n ~k ~t in
+  let header = [ "omissions"; "adversary"; "k reached"; "mean rounds"; "safety" ] in
+  let table_rows =
+    List.map
+      (fun row ->
+        [
+          Printf.sprintf "%d%s" row.omissions
+            (if row.omissions = bound then "  (= sigma)" else "");
+          adversary_to_string row.adversary;
+          Printf.sprintf "%d/%d" row.k_reached row.runs;
+          (match row.mean_rounds with Some m -> Printf.sprintf "%.1f" m | None -> "-");
+          (if row.agreement_violations = 0 && row.validity_violations = 0 then "ok"
+           else "VIOLATED");
+        ])
+      rows
+  in
+  Printf.sprintf
+    "Liveness bound sweep: n=%d k=%d t=%d, sigma = ceil((n-t)/2)*(n-k-t)+k-2 = %d\n%s" n k
+    t bound
+    (Util.Tablefmt.render ~header ~rows:table_rows ())
+
+type phase_row = {
+  dist : Runner.dist;
+  load : Net.Fault.load;
+  samples : int;
+  phase_stats : Util.Stats.summary;
+  histogram : (int * int) list;
+}
+
+let phase_distribution ~n ?(reps = 30) ?(base_seed = 7000L) ~loads () =
+  List.concat_map
+    (fun load ->
+      List.map
+        (fun dist ->
+          let phases = ref [] in
+          for rep = 0 to reps - 1 do
+            let seed = Int64.add base_seed (Int64.of_int rep) in
+            let result =
+              Runner.run ~protocol:Runner.Turquois ~n ~dist ~load ~seed ()
+            in
+            List.iter (fun (_, p) -> phases := p :: !phases) result.decision_phases
+          done;
+          let counts = Hashtbl.create 16 in
+          List.iter
+            (fun p ->
+              Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+            !phases;
+          let histogram =
+            List.sort compare (Hashtbl.fold (fun p c acc -> (p, c) :: acc) counts [])
+          in
+          {
+            dist;
+            load;
+            samples = List.length !phases;
+            phase_stats = Util.Stats.summarize (List.map float_of_int !phases);
+            histogram;
+          })
+        [ Runner.Unanimous; Runner.Divergent ])
+    loads
+
+let render_phases ~n rows =
+  let header = [ "load"; "distribution"; "samples"; "mean phase"; "median"; "histogram" ] in
+  let table_rows =
+    List.map
+      (fun row ->
+        [
+          Net.Fault.load_to_string row.load;
+          Runner.dist_to_string row.dist;
+          string_of_int row.samples;
+          Printf.sprintf "%.2f" row.phase_stats.mean;
+          Printf.sprintf "%.0f" row.phase_stats.median;
+          String.concat " "
+            (List.map (fun (p, c) -> Printf.sprintf "phi%d:%d" p c) row.histogram);
+        ])
+      rows
+  in
+  Printf.sprintf "Turquois decision phases (n=%d): unanimous runs decide in cycle 1 (phase 3),\ndivergent runs typically one cycle later (paper 7.3)\n%s"
+    n
+    (Util.Tablefmt.render ~header ~rows:table_rows ())
+
+type ablation_row = {
+  label : string;
+  group : string;
+  ab_samples : int;
+  latency : Util.Stats.summary;
+}
+
+(* Turquois-only runner exposing the shell's ablation knobs. *)
+let run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed =
+  let engine = Net.Engine.create () in
+  let rng = Util.Rng.create ~seed in
+  let radio = Net.Radio.create engine (Util.Rng.split rng) ~n in
+  Net.Fault.apply_conditions radio Net.Fault.benign_conditions;
+  Net.Fault.apply_crashes radio ~n load;
+  let faulty = Net.Fault.faulty_set ~n load in
+  let correct = List.filter (fun i -> not (List.mem i faulty)) (List.init n (fun i -> i)) in
+  let crashed = match load with Net.Fault.Fail_stop -> faulty | _ -> [] in
+  let byzantine = match load with Net.Fault.Byzantine -> faulty | _ -> [] in
+  let cfg = Core.Proto.default_config ~n in
+  let keyrings = Core.Keyring.setup (Util.Rng.create ~seed:(Int64.of_int (0xab1 + n))) ~n ~phases:cfg.max_phases () in
+  let proposals = Runner.proposals dist ~n in
+  let decided : (int, float) Hashtbl.t = Hashtbl.create n in
+  Array.iter
+    (fun i ->
+      if not (List.mem i crashed) then begin
+        let node = Net.Node.create engine radio ~id:i ~rng:(Util.Rng.split rng) in
+        let behavior =
+          if List.mem i byzantine then Core.Turquois.Attacker else Core.Turquois.Correct
+        in
+        let p =
+          Core.Turquois.create node cfg ~keyring:keyrings.(i) ~behavior ~tick_policy
+            ~auth_cost ~proposal:proposals.(i) ()
+        in
+        if List.mem i correct then
+          Core.Turquois.on_decide p (fun ~value:_ ~phase:_ ->
+              Hashtbl.replace decided i (Net.Engine.now engine));
+        Core.Turquois.start p
+      end)
+    (Array.init n (fun i -> i));
+  Net.Engine.run_while engine (fun () ->
+      Net.Engine.now engine < 60.0 && Hashtbl.length decided < List.length correct);
+  Hashtbl.fold (fun _ t acc -> (t *. 1000.0) :: acc) decided []
+
+let ablations ~n ?(reps = 15) ?(base_seed = 9900L) () =
+  let collect ~group ~label ~dist ~load ~tick_policy ~auth_cost =
+    let samples = ref [] in
+    for rep = 0 to reps - 1 do
+      let seed = Int64.add base_seed (Int64.of_int rep) in
+      samples :=
+        run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed @ !samples
+    done;
+    { label; group; ab_samples = List.length !samples; latency = Util.Stats.summarize !samples }
+  in
+  [
+    collect ~group:"authentication" ~label:"one-time hash signatures (paper)"
+      ~dist:Runner.Unanimous ~load:Net.Fault.Failure_free
+      ~tick_policy:Core.Turquois.Fixed_tick ~auth_cost:Core.Turquois.Onetime_cost;
+    collect ~group:"authentication" ~label:"RSA sign/verify costs"
+      ~dist:Runner.Unanimous ~load:Net.Fault.Failure_free
+      ~tick_policy:Core.Turquois.Fixed_tick ~auth_cost:Core.Turquois.Rsa_cost;
+    collect ~group:"pacing" ~label:"fixed 10 ms ticks (paper)" ~dist:Runner.Unanimous
+      ~load:Net.Fault.Fail_stop ~tick_policy:Core.Turquois.Fixed_tick
+      ~auth_cost:Core.Turquois.Onetime_cost;
+    collect ~group:"pacing" ~label:"adaptive backoff-down ticks" ~dist:Runner.Unanimous
+      ~load:Net.Fault.Fail_stop ~tick_policy:Core.Turquois.default_adaptive
+      ~auth_cost:Core.Turquois.Onetime_cost;
+  ]
+
+let render_ablations ~n rows =
+  let header = [ "design choice"; "variant"; "samples"; "latency (ms)" ] in
+  let table_rows =
+    List.map
+      (fun row ->
+        [
+          row.group;
+          row.label;
+          string_of_int row.ab_samples;
+          Util.Tablefmt.latency_cell ~mean:row.latency.mean ~ci:row.latency.ci95;
+        ])
+      rows
+  in
+  Printf.sprintf "Ablations (Turquois, n=%d)\n%s" n
+    (Util.Tablefmt.render ~header ~rows:table_rows ())

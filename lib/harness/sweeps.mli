@@ -1,0 +1,59 @@
+(** Secondary experiments beyond the three latency tables: the σ
+    liveness bound of Section 5 and the decision-phase distributions
+    discussed in §7.3. *)
+
+type sigma_row = {
+  omissions : int;
+  adversary : Abstract_rounds.adversary;
+  runs : int;
+  k_reached : int;          (** runs where ≥ k correct processes decided *)
+  mean_rounds : float option;  (** mean rounds to k over successful runs *)
+  agreement_violations : int;
+  validity_violations : int;
+}
+
+val sigma_sweep :
+  n:int -> k:int -> ?byzantine:int list -> ?dist:Runner.dist ->
+  ?rounds:int -> ?runs_per_point:int -> ?beyond:int -> ?base_seed:int64 ->
+  unit -> sigma_row list
+(** Sweeps the per-round omission budget from 0 to σ + [beyond]
+    (default 4) for both adversaries, [runs_per_point] (default 10)
+    seeds each, [rounds] (default 120) round horizon. *)
+
+val render_sigma : n:int -> k:int -> t:int -> sigma_row list -> string
+
+type phase_row = {
+  dist : Runner.dist;
+  load : Net.Fault.load;
+  samples : int;
+  phase_stats : Util.Stats.summary;
+  histogram : (int * int) list;  (** (decision phase, count) *)
+}
+
+val phase_distribution :
+  n:int -> ?reps:int -> ?base_seed:int64 -> loads:Net.Fault.load list -> unit ->
+  phase_row list
+(** Turquois decision-phase distribution per proposal distribution and
+    fault load — the "decide by phase 3 unanimous, phase 6 divergent"
+    observation of §7.3. *)
+
+val render_phases : n:int -> phase_row list -> string
+
+type ablation_row = {
+  label : string;
+  group : string;      (** which design choice the row belongs to *)
+  ab_samples : int;
+  latency : Util.Stats.summary;  (** milliseconds *)
+}
+
+val ablations : n:int -> ?reps:int -> ?base_seed:int64 -> unit -> ablation_row list
+(** Ablation study of DESIGN.md's called-out choices, Turquois only:
+
+    - {b authentication}: one-time hash signatures (the paper's
+      mechanism) vs charging conventional RSA sign/verify costs —
+      failure-free load;
+    - {b retransmission pacing}: fixed 10 ms ticks vs multiplicative
+      adaptive backoff-down — fail-stop load, where the paper says
+      pacing matters. *)
+
+val render_ablations : n:int -> ablation_row list -> string

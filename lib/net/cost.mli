@@ -1,0 +1,39 @@
+(** Calibrated CPU cost model.
+
+    The paper's testbed nodes are 600 MHz Pentium III machines; the cost
+    of each cryptographic operation at that clock is what separates the
+    protocols computationally (Turquois hashes, ABBA exponentiates). All
+    durations are in seconds of simulated CPU time and are charged
+    through {!Cpu}. Calibration sources: published OpenSSL-era speed
+    figures for PIII-class hardware; see DESIGN.md §2. *)
+
+val sha256 : bytes_len:int -> float
+(** Digest of a buffer: ~1 µs fixed + ~33 ns/byte. *)
+
+val hmac : bytes_len:int -> float
+(** Two SHA-256 passes plus key schedule. *)
+
+val rsa_sign : float
+(** 1024-bit private-key operation ≈ 12 ms. *)
+
+val rsa_verify : float
+(** 1024-bit public-key operation (e = 65537) ≈ 0.6 ms. *)
+
+val modexp : float
+(** One 512-bit-modulus, 160-bit-exponent exponentiation ≈ 1.3 ms —
+    the unit of threshold-coin work. *)
+
+val coin_share_create : float
+(** Share value + DLEQ proof: 3 modexps. *)
+
+val coin_share_verify : float
+(** DLEQ check: 4 modexps plus inversions. *)
+
+val coin_combine : shares:int -> float
+(** Lagrange combination in the exponent: one modexp per share. *)
+
+val onetime_check : float
+(** One SHA-256 of a 32-byte key. *)
+
+val per_message_overhead : float
+(** Kernel/UDP-stack handling charged per received datagram ≈ 30 µs. *)

@@ -1,0 +1,51 @@
+let header_bytes = 28
+
+type t = {
+  engine : Engine.t;
+  mac_layer : Mac.t;
+  handlers : (int, src:int -> bytes -> unit) Hashtbl.t;
+}
+
+let encode ~port payload =
+  let w = Util.Codec.W.create ~capacity:(8 + Bytes.length payload + header_bytes) () in
+  Util.Codec.W.u16 w port;
+  (* pad to the real IP+UDP header size so frame airtime is faithful *)
+  Util.Codec.W.bytes w (Bytes.make (header_bytes - 2) '\000');
+  Util.Codec.W.bytes_lp w payload;
+  Util.Codec.W.contents w
+
+let decode raw =
+  let r = Util.Codec.R.of_bytes raw in
+  let port = Util.Codec.R.u16 r in
+  let (_ : bytes) = Util.Codec.R.bytes r (header_bytes - 2) in
+  let payload = Util.Codec.R.bytes_lp r in
+  Util.Codec.R.expect_end r;
+  (port, payload)
+
+let dispatch t ~src ~port payload =
+  match Hashtbl.find_opt t.handlers port with
+  | Some handler -> handler ~src payload
+  | None -> ()
+
+let create engine mac_layer =
+  let t = { engine; mac_layer; handlers = Hashtbl.create 8 } in
+  Mac.on_deliver mac_layer (fun ~src raw ->
+      match decode raw with
+      | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
+      | port, payload -> dispatch t ~src ~port payload);
+  t
+
+let send t ~dst ~port payload =
+  let raw = encode ~port payload in
+  match dst with
+  | `Node node -> Mac.send_unicast t.mac_layer ~dst:node raw
+  | `Broadcast ->
+      Mac.send_broadcast t.mac_layer raw;
+      (* loopback copy, delayed by the frame's airtime *)
+      let delay = Mac.airtime_broadcast ~payload_bytes:(Bytes.length raw) in
+      let self = Mac.id t.mac_layer in
+      ignore
+        (Engine.schedule t.engine ~delay (fun () -> dispatch t ~src:self ~port payload))
+
+let listen t ~port handler = Hashtbl.replace t.handlers port handler
+let mac t = t.mac_layer

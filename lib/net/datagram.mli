@@ -1,0 +1,27 @@
+(** Connectionless datagram service (UDP/IP equivalent) over the MAC.
+
+    Adds the IP+UDP header overhead (28 bytes) to every packet so that
+    simulated airtimes match real ones, dispatches received payloads by
+    destination port, and loops broadcast datagrams back to the sending
+    node (the paper's protocol broadcasts include the sender itself;
+    the loopback path does not touch the radio). *)
+
+type t
+
+val header_bytes : int
+(** 28 = IP (20) + UDP (8). *)
+
+val create : Engine.t -> Mac.t -> t
+
+val send :
+  t -> dst:[ `Broadcast | `Node of int ] -> port:int -> bytes -> unit
+(** Queues a datagram. Broadcast datagrams are also delivered locally
+    (loopback) at the end of the MAC airtime they would need, so local
+    and remote deliveries of the same broadcast happen at comparable
+    times. *)
+
+val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit
+(** At most one listener per port; a second [listen] replaces the
+    first. *)
+
+val mac : t -> Mac.t

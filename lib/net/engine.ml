@@ -1,0 +1,107 @@
+type event = { time : float; seq : int; action : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+(* Binary min-heap ordered by (time, seq). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = -1; action = (fun () -> ()); cancelled = true }
+
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let at t ~time action =
+  let time = Float.max time t.clock in
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  ev
+
+let schedule t ~delay action =
+  if Float.is_nan delay || delay < 0.0 then invalid_arg "Engine.schedule: bad delay";
+  at t ~time:(t.clock +. delay) action
+
+let cancel _t handle = handle.cancelled <- true
+
+let pending t = t.size
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+      if not ev.cancelled then begin
+        t.clock <- ev.time;
+        ev.action ()
+      end;
+      true
+
+let run ?(until = Float.infinity) ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_events do
+    if t.size = 0 then continue := false
+    else if t.heap.(0).time > until then continue := false
+    else begin
+      ignore (step t);
+      incr executed
+    end
+  done
+
+let run_while t predicate =
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 || not (predicate ()) then continue := false else ignore (step t)
+  done

@@ -1,0 +1,30 @@
+type load = Failure_free | Fail_stop | Byzantine
+
+let load_to_string = function
+  | Failure_free -> "failure-free"
+  | Fail_stop -> "fail-stop"
+  | Byzantine -> "Byzantine"
+
+let max_f n = (n - 1) / 3
+
+let faulty_set ~n load =
+  match load with
+  | Failure_free -> []
+  | Fail_stop | Byzantine ->
+      let f = max_f n in
+      List.init f (fun i -> n - 1 - i)
+
+let is_faulty ~n load i = List.mem i (faulty_set ~n load)
+
+type conditions = { loss_prob : float; jam_windows : (float * float) list }
+
+let benign_conditions = { loss_prob = 0.05; jam_windows = [] }
+
+let apply_conditions radio conditions =
+  Radio.set_loss_prob radio conditions.loss_prob;
+  List.iter (fun (from, until) -> Radio.jam radio ~from ~until) conditions.jam_windows
+
+let apply_crashes radio ~n load =
+  match load with
+  | Fail_stop -> List.iter (fun i -> Radio.set_down radio i true) (faulty_set ~n load)
+  | Failure_free | Byzantine -> ()

@@ -1,0 +1,42 @@
+(** Fault-load definitions matching the paper's evaluation (§7.2).
+
+    The fault load picks which processes misbehave and how; the network
+    conditions add the dynamic omission faults of the communication
+    failure model. *)
+
+type load =
+  | Failure_free
+      (** All processes behave correctly (Table 1). *)
+  | Fail_stop
+      (** f = ⌊(n−1)/3⌋ processes crash before the run starts
+          (Table 2). *)
+  | Byzantine
+      (** f = ⌊(n−1)/3⌋ processes follow the attack strategies of
+          §7.2 (Table 3). *)
+
+val load_to_string : load -> string
+
+val max_f : int -> int
+(** [max_f n] = ⌊(n−1)/3⌋, the resilience bound used in the paper's
+    experiments. *)
+
+val faulty_set : n:int -> load -> int list
+(** The process identifiers chosen to be faulty under this load: the
+    highest [max_f n] ids (deterministic, so runs are reproducible).
+    Empty for [Failure_free]. *)
+
+val is_faulty : n:int -> load -> int -> bool
+
+type conditions = {
+  loss_prob : float;            (** iid per-receiver omission probability *)
+  jam_windows : (float * float) list;  (** absolute-time jamming bursts *)
+}
+
+val benign_conditions : conditions
+(** 5% residual per-receiver loss — an 802.11b channel with the ambient
+    interference the paper's fail-stop sensitivity implies. *)
+
+val apply_conditions : Radio.t -> conditions -> unit
+
+val apply_crashes : Radio.t -> n:int -> load -> unit
+(** Marks the faulty set down for [Fail_stop]; no-op otherwise. *)

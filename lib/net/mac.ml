@@ -1,0 +1,281 @@
+module Const = struct
+  let slot = 20.0e-6
+  let sifs = 10.0e-6
+  let difs = 50.0e-6
+  let plcp_overhead = 192.0e-6
+  let plcp_short = 96.0e-6
+  let basic_rate = 2.0e6
+  let data_rate = 11.0e6
+  let cw_min = 31
+  let cw_max = 1023
+  let retry_limit = 7
+  let ack_bytes = 14
+  let header_bytes = 36
+end
+
+let broadcast_dst = 0xFFFF
+
+(* Broadcast frames use the long preamble (802.11b's conservative
+   multicast PHY header) but the 11 Mb/s payload rate — the testbed
+   configuration the paper's n=16 latencies imply: at the 2 Mb/s basic
+   rate sixteen 10 ms-tick broadcasters already saturate the channel.
+   MAC ACKs stay at the basic rate; unicast data uses the short
+   preamble. *)
+let airtime ~plcp ~rate ~bytes = plcp +. (float_of_int (8 * bytes) /. rate)
+
+let airtime_broadcast ~payload_bytes =
+  airtime ~plcp:Const.plcp_overhead ~rate:Const.data_rate
+    ~bytes:(payload_bytes + Const.header_bytes)
+
+let airtime_unicast ~payload_bytes =
+  airtime ~plcp:Const.plcp_short ~rate:Const.data_rate
+    ~bytes:(payload_bytes + Const.header_bytes)
+
+let ack_airtime = airtime ~plcp:Const.plcp_short ~rate:Const.basic_rate ~bytes:Const.ack_bytes
+
+type frame_kind = Data | Ack
+
+type frame = { kind : frame_kind; src : int; dst : int; seq : int; payload : bytes }
+
+let encode_frame f =
+  let w = Util.Codec.W.create ~capacity:(16 + Bytes.length f.payload) () in
+  Util.Codec.W.u8 w (match f.kind with Data -> 0 | Ack -> 1);
+  Util.Codec.W.u16 w f.src;
+  Util.Codec.W.u16 w f.dst;
+  Util.Codec.W.u32 w f.seq;
+  Util.Codec.W.bytes_lp w f.payload;
+  Util.Codec.W.contents w
+
+let decode_frame b =
+  let r = Util.Codec.R.of_bytes b in
+  let kind = match Util.Codec.R.u8 r with 0 -> Data | 1 -> Ack | _ -> raise (Util.Codec.Malformed "frame kind") in
+  let src = Util.Codec.R.u16 r in
+  let dst = Util.Codec.R.u16 r in
+  let seq = Util.Codec.R.u32 r in
+  let payload = Util.Codec.R.bytes_lp r in
+  Util.Codec.R.expect_end r;
+  { kind; src; dst; seq; payload }
+
+type pending = {
+  p_dst : int option; (* None = broadcast *)
+  p_payload : bytes;
+  p_seq : int;
+  mutable retries : int;
+  mutable cw : int;
+}
+
+type t = {
+  engine : Engine.t;
+  radio : Radio.t;
+  node_id : int;
+  rng : Util.Rng.t;
+  queue : pending Queue.t;
+  mutable current : pending option;
+  mutable remaining_slots : int;  (* frozen backoff survives across busy periods *)
+  mutable awaiting_ack : Engine.handle option;
+  mutable generation : int;       (* invalidates stale scheduled continuations *)
+  mutable next_seq : int;
+  mutable deliver : (src:int -> bytes -> unit) option;
+  mutable dropped : (dst:int -> bytes -> unit) option;
+  seen : (int * int, unit) Hashtbl.t; (* (src, seq) dedup for retransmitted unicast *)
+}
+
+let id t = t.node_id
+let on_deliver t f = t.deliver <- Some f
+let on_drop t f = t.dropped <- Some f
+let queue_length t = Queue.length t.queue + match t.current with Some _ -> 1 | None -> 0
+
+(* --- transmission pipeline -------------------------------------------- *)
+
+let rec start_contention t =
+  match t.current with
+  | None -> begin
+      match Queue.take_opt t.queue with
+      | None -> ()
+      | Some p ->
+          t.current <- Some p;
+          t.remaining_slots <- Util.Rng.int t.rng (p.cw + 1);
+          wait_for_idle t
+    end
+  | Some _ -> wait_for_idle t
+
+and wait_for_idle t =
+  let gen = t.generation in
+  if Radio.busy t.radio then
+    Radio.subscribe_idle t.radio (fun () -> if t.generation = gen then wait_for_idle t)
+  else begin
+    (* sense for DIFS; abort if anything starts meanwhile *)
+    let difs_start = Engine.now t.engine in
+    ignore
+      (Engine.schedule t.engine ~delay:Const.difs (fun () ->
+           if t.generation = gen then
+             if Radio.idle_since t.radio difs_start then countdown t else wait_for_idle t))
+  end
+
+and countdown t =
+  let gen = t.generation in
+  if t.remaining_slots <= 0 then transmit_current t
+  else begin
+    let slot_start = Engine.now t.engine in
+    ignore
+      (Engine.schedule t.engine ~delay:Const.slot (fun () ->
+           if t.generation = gen then
+             if Radio.idle_since t.radio slot_start then begin
+               t.remaining_slots <- t.remaining_slots - 1;
+               countdown t
+             end
+             else wait_for_idle t))
+  end
+
+and transmit_current t =
+  match t.current with
+  | None -> ()
+  | Some p ->
+      let gen = t.generation in
+      let kind = Data in
+      let dst = match p.p_dst with None -> broadcast_dst | Some d -> d in
+      let frame = { kind; src = t.node_id; dst; seq = p.p_seq; payload = p.p_payload } in
+      let encoded = encode_frame frame in
+      let duration =
+        match p.p_dst with
+        | None -> airtime_broadcast ~payload_bytes:(Bytes.length p.p_payload)
+        | Some _ -> airtime_unicast ~payload_bytes:(Bytes.length p.p_payload)
+      in
+      Radio.transmit t.radio ~sender:t.node_id ~duration encoded;
+      (match p.p_dst with
+      | None ->
+          (* fire and forget: done at end of airtime *)
+          ignore
+            (Engine.schedule t.engine ~delay:duration (fun () ->
+                 if t.generation = gen then begin
+                   t.current <- None;
+                   t.generation <- t.generation + 1;
+                   start_contention t
+                 end))
+      | Some _ ->
+          let timeout = duration +. Const.sifs +. ack_airtime +. (2.0 *. Const.slot) in
+          let handle =
+            Engine.schedule t.engine ~delay:timeout (fun () ->
+                if t.generation = gen then handle_ack_timeout t)
+          in
+          t.awaiting_ack <- Some handle)
+
+and handle_ack_timeout t =
+  match t.current with
+  | None -> ()
+  | Some p ->
+      t.awaiting_ack <- None;
+      p.retries <- p.retries + 1;
+      if p.retries > Const.retry_limit then begin
+        Trace.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac" ~label:"drop"
+          (Printf.sprintf "to p%s after %d retries"
+             (match p.p_dst with Some d -> string_of_int d | None -> "*")
+             Const.retry_limit);
+        t.current <- None;
+        t.generation <- t.generation + 1;
+        (match (t.dropped, p.p_dst) with
+        | Some f, Some dst -> f ~dst p.p_payload
+        | _, _ -> ());
+        start_contention t
+      end
+      else begin
+        Trace.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac" ~label:"retry"
+          (Printf.sprintf "attempt %d cw %d" (p.retries + 1) p.cw);
+        p.cw <- min ((2 * (p.cw + 1)) - 1) Const.cw_max;
+        t.generation <- t.generation + 1;
+        t.remaining_slots <- Util.Rng.int t.rng (p.cw + 1);
+        wait_for_idle t
+      end
+
+let handle_ack t seq =
+  match t.current with
+  | Some p when p.p_dst <> None && p.p_seq = seq ->
+      (match t.awaiting_ack with
+      | Some h ->
+          Engine.cancel t.engine h;
+          t.awaiting_ack <- None
+      | None -> ());
+      t.current <- None;
+      t.generation <- t.generation + 1;
+      start_contention t
+  | Some _ | None -> ()
+
+let send_ack t ~dst ~seq =
+  let frame = { kind = Ack; src = t.node_id; dst; seq; payload = Bytes.empty } in
+  let encoded = encode_frame frame in
+  ignore
+    (Engine.schedule t.engine ~delay:Const.sifs (fun () ->
+         Radio.transmit t.radio ~sender:t.node_id ~duration:ack_airtime encoded))
+
+let handle_radio_receive t ~sender:_ raw =
+  match decode_frame raw with
+  | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
+  | frame -> begin
+      match frame.kind with
+      | Ack -> if frame.dst = t.node_id then handle_ack t frame.seq
+      | Data ->
+          if frame.dst = broadcast_dst then begin
+            match t.deliver with
+            | Some f -> f ~src:frame.src frame.payload
+            | None -> ()
+          end
+          else if frame.dst = t.node_id then begin
+            send_ack t ~dst:frame.src ~seq:frame.seq;
+            if not (Hashtbl.mem t.seen (frame.src, frame.seq)) then begin
+              Hashtbl.add t.seen (frame.src, frame.seq) ();
+              match t.deliver with
+              | Some f -> f ~src:frame.src frame.payload
+              | None -> ()
+            end
+          end
+    end
+
+(* Shared dispatch: the radio has a single receive callback, so the first
+   MAC created installs a dispatcher over a registry of MAC entities. *)
+let registries : (Radio.t * t array ref) list ref = ref []
+
+let create engine radio ~id ~rng =
+  let t =
+    {
+      engine;
+      radio;
+      node_id = id;
+      rng;
+      queue = Queue.create ();
+      current = None;
+      remaining_slots = 0;
+      awaiting_ack = None;
+      generation = 0;
+      next_seq = 0;
+      deliver = None;
+      dropped = None;
+      seen = Hashtbl.create 64;
+    }
+  in
+  (match List.assq_opt radio !registries with
+  | Some cell -> cell := Array.append !cell [| t |]
+  | None ->
+      let cell = ref [| t |] in
+      registries := (radio, cell) :: !registries;
+      Radio.on_receive radio (fun receiver ~sender raw ->
+          Array.iter
+            (fun mac -> if mac.node_id = receiver then handle_radio_receive mac ~sender raw)
+            !cell));
+  t
+
+let enqueue t p =
+  Queue.add p t.queue;
+  if t.current = None then begin
+    t.generation <- t.generation + 1;
+    start_contention t
+  end
+
+let send_broadcast t payload =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  enqueue t { p_dst = None; p_payload = payload; p_seq = seq; retries = 0; cw = Const.cw_min }
+
+let send_unicast t ~dst payload =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  enqueue t { p_dst = Some dst; p_payload = payload; p_seq = seq; retries = 0; cw = Const.cw_min }

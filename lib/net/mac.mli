@@ -1,0 +1,66 @@
+(** 802.11b DCF medium access control, one instance per node.
+
+    Models the distributed coordination function: DIFS sensing, slotted
+    backoff with freezing while the medium is busy, and the two frame
+    classes the paper's evaluation contrasts —
+
+    - {b broadcast}: transmitted at the 2 Mb/s basic rate, no MAC-level
+      acknowledgment, no retransmission, a single contention window. One
+      collision can deprive all n−1 receivers of the frame (paper §7.3).
+    - {b unicast}: transmitted at 11 Mb/s, acknowledged after SIFS, and
+      retransmitted with exponential backoff up to the retry limit —
+      this is the reliability TCP-style transports build on.
+
+    Frame layout on the medium is produced by this module; the physical
+    preamble and header overheads are added to the airtime. *)
+
+(** Protocol timing and size constants (802.11b, long preamble):
+    slot 20 µs, SIFS 10 µs, DIFS 50 µs, PLCP preamble + header 192 µs
+    long / 96 µs short (broadcasts use long, unicast and ACKs short),
+    basic rate 2 Mb/s (broadcasts and ACKs), data rate 11 Mb/s (unicast),
+    CW in [31, 1023], retry limit 7, ACK frame 14 bytes, MAC header +
+    FCS + LLC/SNAP 36 bytes. *)
+module Const : sig
+  val slot : float
+  val sifs : float
+  val difs : float
+  val plcp_overhead : float
+  val plcp_short : float
+  val basic_rate : float
+  val data_rate : float
+  val cw_min : int
+  val cw_max : int
+  val retry_limit : int
+  val ack_bytes : int
+  val header_bytes : int
+end
+
+type t
+
+val create : Engine.t -> Radio.t -> id:int -> rng:Util.Rng.t -> t
+(** One MAC entity for node [id]. All MACs of a network share the radio
+    and must be created before any traffic flows. *)
+
+val id : t -> int
+
+val send_broadcast : t -> bytes -> unit
+(** Queues a broadcast payload (the MAC adds its header). *)
+
+val send_unicast : t -> dst:int -> bytes -> unit
+(** Queues a unicast payload for [dst], with ACK and retransmission. *)
+
+val on_deliver : t -> (src:int -> bytes -> unit) -> unit
+(** Upper-layer delivery callback: fires once per distinct received
+    payload (duplicates from lost ACKs are suppressed). *)
+
+val on_drop : t -> (dst:int -> bytes -> unit) -> unit
+(** Fires when a unicast frame exhausts the retry limit. *)
+
+val queue_length : t -> int
+(** Frames waiting for the medium (including the one in service). *)
+
+val airtime_broadcast : payload_bytes:int -> float
+(** Time on air of a broadcast payload including headers and preamble;
+    exposed for capacity analysis and tests. *)
+
+val airtime_unicast : payload_bytes:int -> float

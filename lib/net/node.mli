@@ -1,0 +1,40 @@
+(** Per-node runtime bundle: MAC + datagram + CPU + timers.
+
+    Protocol implementations talk to a [Node.t] only; everything below
+    (medium access, airtime, loss) is hidden behind it. All application
+    callbacks — datagram deliveries and timers — are serialized through
+    the node's CPU queue, so a handler that charges cryptographic cost
+    delays every later handler on the same node, as on real hardware. *)
+
+type t
+
+val create : Engine.t -> Radio.t -> id:int -> rng:Util.Rng.t -> t
+
+val id : t -> int
+val engine : t -> Engine.t
+val rng : t -> Util.Rng.t
+val cpu : t -> Cpu.t
+val datagram : t -> Datagram.t
+val mac : t -> Mac.t
+
+val charge : t -> float -> unit
+(** Account CPU cost to the currently-running handler. *)
+
+val broadcast : t -> port:int -> bytes -> unit
+(** UDP-style broadcast, loopback included. *)
+
+val unicast : t -> dst:int -> port:int -> bytes -> unit
+
+val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit
+(** Datagram listener; runs on the CPU queue with the per-message
+    kernel overhead already charged. *)
+
+val set_timer : t -> delay:float -> (unit -> unit) -> Engine.handle
+(** One-shot timer; the callback runs on the CPU queue. *)
+
+val cancel_timer : t -> Engine.handle -> unit
+
+val every : t -> period:float -> (unit -> unit) -> unit
+(** Fixed-period recurring timer (first firing after one period). The
+    callback runs on the CPU queue; periods are measured on the engine
+    clock, so a busy CPU delays the callback but not the schedule. *)

@@ -1,0 +1,135 @@
+type transmission = {
+  tx_sender : int;
+  tx_start : float;
+  tx_finish : float;
+  mutable corrupted : bool;
+}
+
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable collisions : int;
+  mutable losses : int;
+  mutable jammed : int;
+  mutable bytes_sent : int;
+  mutable airtime : float;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Util.Rng.t;
+  n : int;
+  down : bool array;
+  mutable loss_prob : float;
+  mutable jam_windows : (float * float) list;
+  mutable ongoing : transmission list;
+  mutable busy_end : float;  (* end of latest transmission ever started *)
+  mutable idle_waiters : (unit -> unit) list;
+  mutable receive : (int -> sender:int -> bytes -> unit) option;
+  stats : stats;
+}
+
+let create engine rng ~n =
+  {
+    engine;
+    rng;
+    n;
+    down = Array.make n false;
+    loss_prob = 0.0;
+    jam_windows = [];
+    ongoing = [];
+    busy_end = 0.0;
+    idle_waiters = [];
+    receive = None;
+    stats =
+      {
+        frames_sent = 0;
+        frames_delivered = 0;
+        collisions = 0;
+        losses = 0;
+        jammed = 0;
+        bytes_sent = 0;
+        airtime = 0.0;
+      };
+  }
+
+let set_loss_prob t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Radio.set_loss_prob";
+  t.loss_prob <- p
+
+let set_down t i v = t.down.(i) <- v
+let is_down t i = t.down.(i)
+let jam t ~from ~until = t.jam_windows <- (from, until) :: t.jam_windows
+let on_receive t f = t.receive <- Some f
+let busy_until t = t.busy_end
+let busy t = t.busy_end > Engine.now t.engine
+let idle_since t s = t.busy_end <= s
+let stats t = t.stats
+
+let subscribe_idle t f =
+  if not (busy t) then ignore (Engine.schedule t.engine ~delay:0.0 f)
+  else t.idle_waiters <- f :: t.idle_waiters
+
+let notify_idle_if_clear t =
+  if not (busy t) && t.idle_waiters <> [] then begin
+    let waiters = List.rev t.idle_waiters in
+    t.idle_waiters <- [];
+    List.iter (fun f -> ignore (Engine.schedule t.engine ~delay:0.0 f)) waiters
+  end
+
+let overlaps_jam t start finish =
+  List.exists (fun (a, b) -> start < b && finish > a) t.jam_windows
+
+let transmit t ~sender ~duration frame =
+  if sender < 0 || sender >= t.n then invalid_arg "Radio.transmit: bad sender";
+  if duration <= 0.0 then invalid_arg "Radio.transmit: bad duration";
+  if t.down.(sender) then ()
+  else begin
+    let now = Engine.now t.engine in
+    let finish = now +. duration in
+    let tx = { tx_sender = sender; tx_start = now; tx_finish = finish; corrupted = false } in
+    (* prune finished transmissions; overlapping ones corrupt both ways *)
+    t.ongoing <- List.filter (fun o -> o.tx_finish > now) t.ongoing;
+    List.iter
+      (fun o ->
+        if not o.corrupted then t.stats.collisions <- t.stats.collisions + 1;
+        o.corrupted <- true;
+        if not tx.corrupted then begin
+          tx.corrupted <- true;
+          t.stats.collisions <- t.stats.collisions + 1
+        end)
+      t.ongoing;
+    t.ongoing <- tx :: t.ongoing;
+    t.busy_end <- Float.max t.busy_end finish;
+    t.stats.frames_sent <- t.stats.frames_sent + 1;
+    t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length frame;
+    t.stats.airtime <- t.stats.airtime +. duration;
+    Trace.emit ~time:now ~node:sender ~layer:"radio" ~label:"tx"
+      (Printf.sprintf "%dB %.0fus%s" (Bytes.length frame) (duration *. 1e6)
+         (if tx.corrupted then " COLLISION" else ""));
+    ignore
+      (Engine.at t.engine ~time:finish (fun () ->
+           t.ongoing <- List.filter (fun o -> o.tx_finish > Engine.now t.engine) t.ongoing;
+           let jammed = overlaps_jam t tx.tx_start tx.tx_finish in
+           if jammed then begin
+             t.stats.jammed <- t.stats.jammed + 1;
+             Trace.emit ~time:(Engine.now t.engine) ~node:sender ~layer:"radio"
+               ~label:"jammed" ""
+           end;
+           if (not tx.corrupted) && not jammed then begin
+             match t.receive with
+             | None -> ()
+             | Some deliver ->
+                 for receiver = 0 to t.n - 1 do
+                   if receiver <> sender && not t.down.(receiver) then begin
+                     if Util.Rng.bernoulli t.rng t.loss_prob then
+                       t.stats.losses <- t.stats.losses + 1
+                     else begin
+                       t.stats.frames_delivered <- t.stats.frames_delivered + 1;
+                       deliver receiver ~sender frame
+                     end
+                   end
+                 done
+           end;
+           notify_idle_if_clear t))
+  end

@@ -1,0 +1,63 @@
+(** Shared 802.11b broadcast medium for a single-hop ad hoc network.
+
+    All n nodes are within range of each other (as in the paper's
+    testbed, "at most a few meters distant"). The medium carries opaque
+    frames; any two transmissions that overlap in time collide and
+    corrupt each other (no capture effect). On top of collisions the
+    model injects the paper's dynamic omission faults: an iid
+    per-receiver loss probability, and jamming windows during which
+    every frame is corrupted (the jammer is modeled below the
+    carrier-sense threshold, so it destroys frames without making the
+    medium appear busy — the harshest interpretation of Section 1's
+    jamming discussion). *)
+
+type t
+
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable collisions : int;      (** frames corrupted by overlap *)
+  mutable losses : int;          (** per-receiver Bernoulli drops *)
+  mutable jammed : int;          (** frames destroyed by jamming *)
+  mutable bytes_sent : int;
+  mutable airtime : float;       (** cumulative seconds of occupancy *)
+}
+
+val create : Engine.t -> Util.Rng.t -> n:int -> t
+
+val set_loss_prob : t -> float -> unit
+(** Probability that a given receiver independently misses a given
+    (otherwise successful) frame. Default 0. *)
+
+val set_down : t -> int -> bool -> unit
+(** Crashed nodes neither transmit nor receive. *)
+
+val is_down : t -> int -> bool
+
+val jam : t -> from:float -> until:float -> unit
+(** Adds a jamming window in absolute simulation time. *)
+
+val on_receive : t -> (int -> sender:int -> bytes -> unit) -> unit
+(** Registers the single delivery callback: [f receiver ~sender frame]
+    runs at the end of a successful reception. Set once by the MAC. *)
+
+val transmit : t -> sender:int -> duration:float -> bytes -> unit
+(** Starts a transmission occupying the medium for [duration] seconds;
+    delivery (or corruption) resolves at its end. The sender does not
+    receive its own frame. *)
+
+val busy : t -> bool
+(** Carrier sense at the current instant. *)
+
+val busy_until : t -> float
+(** End of the latest ongoing transmission ([now] or earlier if idle). *)
+
+val idle_since : t -> float -> bool
+(** [idle_since t s] is true when the medium has been continuously idle
+    from time [s] to now. *)
+
+val subscribe_idle : t -> (unit -> unit) -> unit
+(** One-shot callback at the next instant the medium becomes idle
+    (immediately-next event if it is idle already). *)
+
+val stats : t -> stats

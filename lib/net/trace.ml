@@ -1,0 +1,53 @@
+type event = { time : float; node : int; layer : string; label : string; detail : string }
+
+type state = {
+  mutable active : bool;
+  mutable limit : int;
+  mutable count : int;
+  mutable dropped : int;
+  mutable entries : event list; (* newest first *)
+}
+
+let state = { active = false; limit = 0; count = 0; dropped = 0; entries = [] }
+
+let clear () =
+  state.count <- 0;
+  state.dropped <- 0;
+  state.entries <- []
+
+let start ?(limit = 100_000) () =
+  clear ();
+  state.limit <- limit;
+  state.active <- true
+
+let stop () = state.active <- false
+let enabled () = state.active
+
+let emit ~time ~node ~layer ~label detail =
+  if state.active then begin
+    if state.count < state.limit then begin
+      state.entries <- { time; node; layer; label; detail } :: state.entries;
+      state.count <- state.count + 1
+    end
+    else state.dropped <- state.dropped + 1
+  end
+
+let events () = List.rev state.entries
+let dropped () = state.dropped
+
+let render ?(filter = fun _ -> true) ?(max_events = max_int) () =
+  let buf = Buffer.create 4096 in
+  let shown = ref 0 in
+  List.iter
+    (fun e ->
+      if !shown < max_events && filter e then begin
+        incr shown;
+        Buffer.add_string buf
+          (Printf.sprintf "%10.6f  %-4s %-8s %-12s %s\n" e.time
+             (if e.node >= 0 then Printf.sprintf "p%d" e.node else "-")
+             e.layer e.label e.detail)
+      end)
+    (events ());
+  if state.dropped > 0 then
+    Buffer.add_string buf (Printf.sprintf "... %d further events dropped\n" state.dropped);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Lightweight event tracing for simulation debugging.
+
+    A process-global, off-by-default sink: layers call {!emit}, which is
+    a no-op unless tracing was started. The simulator is single-threaded
+    and deterministic, so a trace of a failing run (same seed) is a
+    complete, replayable explanation. Used by `turquois-lab run
+    --trace`. *)
+
+type event = {
+  time : float;
+  node : int;       (** -1 when not attributable to one node *)
+  layer : string;   (** "radio", "mac", "rlink", "turquois", ... *)
+  label : string;   (** short event class, e.g. "tx", "drop", "decide" *)
+  detail : string;
+}
+
+val start : ?limit:int -> unit -> unit
+(** Enables collection; at most [limit] events are kept (default
+    100_000; afterwards new events are counted but dropped). *)
+
+val stop : unit -> unit
+val enabled : unit -> bool
+
+val emit :
+  time:float -> node:int -> layer:string -> label:string -> string -> unit
+
+val events : unit -> event list
+(** Collected events in emission (= time) order. *)
+
+val dropped : unit -> int
+val clear : unit -> unit
+
+val render : ?filter:(event -> bool) -> ?max_events:int -> unit -> string
+(** One line per event: [time node layer label detail]. *)

@@ -1,0 +1,133 @@
+exception Truncated
+exception Malformed of string
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then raise (Malformed "u8 out of range");
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then raise (Malformed "u16 out of range");
+    Buffer.add_char t (Char.chr (v land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xFF))
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then raise (Malformed "u32 out of range");
+    for i = 0 to 3 do
+      Buffer.add_char t (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+
+  let u64 t v =
+    for i = 0 to 7 do
+      Buffer.add_char t
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+    done
+
+  let varint t v =
+    if v < 0 then raise (Malformed "varint must be non-negative");
+    let rec go v =
+      if v < 0x80 then Buffer.add_char t (Char.chr v)
+      else begin
+        Buffer.add_char t (Char.chr (0x80 lor (v land 0x7F)));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let bytes t b = Buffer.add_bytes t b
+
+  let bytes_lp t b =
+    u32 t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let string_lp t s = bytes_lp t (Bytes.of_string s)
+  let length t = Buffer.length t
+  let contents t = Buffer.to_bytes t
+end
+
+module R = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+
+  let need t n = if t.pos + n > Bytes.length t.buf then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let a = u16 t in
+    let b = u16 t in
+    a lor (b lsl 16)
+
+  let u64 t =
+    let r = ref 0L in
+    for i = 0 to 7 do
+      r := Int64.logor !r (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    !r
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 56 then raise (Malformed "varint too long");
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bytes t n =
+    if n < 0 then raise (Malformed "negative length");
+    need t n;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let bytes_lp t =
+    let n = u32 t in
+    bytes t n
+
+  let string_lp t = Bytes.to_string (bytes_lp t)
+  let remaining t = Bytes.length t.buf - t.pos
+  let at_end t = remaining t = 0
+  let expect_end t = if not (at_end t) then raise (Malformed "trailing bytes")
+end
+
+let hex b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  let digit v = if v < 10 then Char.chr (Char.code '0' + v) else Char.chr (Char.code 'a' + v - 10) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (digit (c land 0xF))
+  done;
+  Bytes.to_string out
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then raise (Malformed "odd hex length");
+  let value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Malformed "non-hex character")
+  in
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set out i (Char.chr ((value s.[2 * i] lsl 4) lor value s.[(2 * i) + 1]))
+  done;
+  out

@@ -1,0 +1,59 @@
+(** Binary encoding and decoding of protocol messages.
+
+    All on-the-wire structures in the repository are serialized with this
+    module so that simulated frame sizes reflect real encodings. Integers
+    are little-endian; variable-length fields are length-prefixed. *)
+
+exception Truncated
+(** Raised by readers when the buffer ends before the requested field. *)
+
+exception Malformed of string
+(** Raised when a decoded value violates its declared domain. *)
+
+(** Append-only byte buffer writer. *)
+module W : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val varint : t -> int -> unit
+  (** LEB128-style unsigned varint; compact phase numbers. *)
+
+  val bytes : t -> bytes -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val bytes_lp : t -> bytes -> unit
+  (** u32 length prefix followed by the bytes. *)
+
+  val string_lp : t -> string -> unit
+  val length : t -> int
+  val contents : t -> bytes
+end
+
+(** Cursor-based reader over immutable bytes. *)
+module R : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val varint : t -> int
+  val bytes : t -> int -> bytes
+  val bytes_lp : t -> bytes
+  val string_lp : t -> string
+  val remaining : t -> int
+  val at_end : t -> bool
+  val expect_end : t -> unit
+  (** @raise Malformed if trailing bytes remain. *)
+end
+
+val hex : bytes -> string
+(** Lowercase hex rendering, for logs and tests. *)
+
+val of_hex : string -> bytes
+(** Inverse of {!hex}. @raise Malformed on odd length or non-hex input. *)

@@ -1,0 +1,63 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render ?align ~header ~rows () =
+  let ncols = List.length header in
+  let rows =
+    let normalize row =
+      let len = List.length row in
+      if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+    in
+    List.map normalize rows
+  in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let line ch =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths) ^ "+"
+  in
+  let format_row cells =
+    let parts =
+      List.map2
+        (fun (w, a) c -> " " ^ pad a w c ^ " ")
+        (List.combine widths aligns)
+        cells
+    in
+    "|" ^ String.concat "|" parts ^ "|"
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (format_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (format_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let latency_cell ~mean ~ci = Printf.sprintf "%.2f ± %.2f" mean ci

@@ -1,0 +1,123 @@
+(* Unit and property tests for Util.Codec. *)
+
+module W = Util.Codec.W
+module R = Util.Codec.R
+
+let test_scalar_roundtrip () =
+  let w = W.create () in
+  W.u8 w 0xAB;
+  W.u16 w 0xCDEF;
+  W.u32 w 0x12345678;
+  W.u64 w 0x1122334455667788L;
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.(check int) "u8" 0xAB (R.u8 r);
+  Alcotest.(check int) "u16" 0xCDEF (R.u16 r);
+  Alcotest.(check int) "u32" 0x12345678 (R.u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (R.u64 r);
+  R.expect_end r
+
+let test_range_checks () =
+  let w = W.create () in
+  Alcotest.check_raises "u8 too big" (Util.Codec.Malformed "u8 out of range") (fun () ->
+      W.u8 w 256);
+  Alcotest.check_raises "u16 negative" (Util.Codec.Malformed "u16 out of range") (fun () ->
+      W.u16 w (-1));
+  Alcotest.check_raises "u32 too big" (Util.Codec.Malformed "u32 out of range") (fun () ->
+      W.u32 w 0x1_0000_0000)
+
+let test_varint_edges () =
+  List.iter
+    (fun v ->
+      let w = W.create () in
+      W.varint w v;
+      let r = R.of_bytes (W.contents w) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v (R.varint r);
+      R.expect_end r)
+    [ 0; 1; 127; 128; 129; 16383; 16384; 1_000_000; max_int lsr 8 ]
+
+let test_varint_compactness () =
+  let w = W.create () in
+  W.varint w 127;
+  Alcotest.(check int) "single byte" 1 (W.length w);
+  let w = W.create () in
+  W.varint w 128;
+  Alcotest.(check int) "two bytes" 2 (W.length w)
+
+let test_bytes_lp_roundtrip () =
+  let payload = Bytes.of_string "hello" in
+  let w = W.create () in
+  W.bytes_lp w payload;
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.(check bytes) "payload" payload (R.bytes_lp r);
+  R.expect_end r
+
+let test_truncated () =
+  let r = R.of_bytes (Bytes.of_string "\x01") in
+  Alcotest.check_raises "u16 truncated" Util.Codec.Truncated (fun () -> ignore (R.u16 r))
+
+let test_trailing_bytes () =
+  let r = R.of_bytes (Bytes.of_string "\x01\x02") in
+  ignore (R.u8 r);
+  Alcotest.check_raises "trailing" (Util.Codec.Malformed "trailing bytes") (fun () ->
+      R.expect_end r)
+
+let test_length_prefix_truncated () =
+  (* declares 100 bytes but provides 2 *)
+  let w = W.create () in
+  W.u32 w 100;
+  W.bytes w (Bytes.of_string "ab");
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.check_raises "lp truncated" Util.Codec.Truncated (fun () ->
+      ignore (R.bytes_lp r))
+
+let test_hex_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\xfe\xff" in
+  Alcotest.(check string) "hex" "0001feff" (Util.Codec.hex b);
+  Alcotest.(check bytes) "of_hex" b (Util.Codec.of_hex "0001feff");
+  Alcotest.(check bytes) "of_hex upper" b (Util.Codec.of_hex "0001FEFF")
+
+let test_hex_rejects () =
+  Alcotest.check_raises "odd length" (Util.Codec.Malformed "odd hex length") (fun () ->
+      ignore (Util.Codec.of_hex "abc"));
+  Alcotest.check_raises "bad char" (Util.Codec.Malformed "non-hex character") (fun () ->
+      ignore (Util.Codec.of_hex "zz"))
+
+let qcheck_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes_lp roundtrip" ~count:300 QCheck.string (fun s ->
+      let w = W.create () in
+      W.string_lp w s;
+      let r = R.of_bytes (W.contents w) in
+      let back = R.string_lp r in
+      R.at_end r && back = s)
+
+let qcheck_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:300
+    QCheck.(int_range 0 max_int)
+    (fun v ->
+      let w = W.create () in
+      W.varint w v;
+      let r = R.of_bytes (W.contents w) in
+      R.varint r = v)
+
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300 QCheck.string (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal (Util.Codec.of_hex (Util.Codec.hex b)) b)
+
+let suite =
+  ( "codec",
+    [
+      Alcotest.test_case "scalar roundtrip" `Quick test_scalar_roundtrip;
+      Alcotest.test_case "range checks" `Quick test_range_checks;
+      Alcotest.test_case "varint edges" `Quick test_varint_edges;
+      Alcotest.test_case "varint compactness" `Quick test_varint_compactness;
+      Alcotest.test_case "bytes_lp roundtrip" `Quick test_bytes_lp_roundtrip;
+      Alcotest.test_case "truncated" `Quick test_truncated;
+      Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
+      Alcotest.test_case "lp truncated" `Quick test_length_prefix_truncated;
+      Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+      Alcotest.test_case "hex rejects" `Quick test_hex_rejects;
+      QCheck_alcotest.to_alcotest qcheck_bytes_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_varint_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+    ] )

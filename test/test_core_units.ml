@@ -1,0 +1,272 @@
+(* Unit tests for the core protocol building blocks: Proto, Message,
+   Keyring, Vset. *)
+
+module P = Core.Proto
+
+(* --- Proto -------------------------------------------------------------- *)
+
+let test_value_encoding () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "roundtrip" true
+        (P.value_equal v (P.value_of_int (P.value_to_int v))))
+    [ P.V0; P.V1; P.Vbot ];
+  Alcotest.check_raises "bad int" (Util.Codec.Malformed "invalid value 3") (fun () ->
+      ignore (P.value_of_int 3))
+
+let test_value_of_bit () =
+  Alcotest.(check bool) "0" true (P.value_equal P.V0 (P.value_of_bit 0));
+  Alcotest.(check bool) "1" true (P.value_equal P.V1 (P.value_of_bit 1));
+  Alcotest.(check (option int)) "bit of bot" None (P.bit_of_value P.Vbot);
+  Alcotest.check_raises "bad bit" (Invalid_argument "Proto.value_of_bit: 2") (fun () ->
+      ignore (P.value_of_bit 2))
+
+let test_phase_kinds () =
+  let kind_name = function P.Converge -> "c" | P.Lock -> "l" | P.Decide -> "d" in
+  Alcotest.(check (list string)) "cycle" [ "c"; "l"; "d"; "c"; "l"; "d" ]
+    (List.map (fun p -> kind_name (P.kind_of_phase p)) [ 1; 2; 3; 4; 5; 6 ]);
+  Alcotest.check_raises "phase 0" (Invalid_argument "Proto.kind_of_phase: phases start at 1")
+    (fun () -> ignore (P.kind_of_phase 0))
+
+let test_default_config () =
+  let c = P.default_config ~n:16 in
+  Alcotest.(check int) "f" 5 c.f;
+  Alcotest.(check int) "k" 11 c.k;
+  P.validate_config c
+
+let test_validate_config_rejects () =
+  let base = P.default_config ~n:4 in
+  Alcotest.check_raises "n <= 3f" (Invalid_argument "Proto.validate_config: need n > 3f")
+    (fun () -> P.validate_config { base with f = 2 });
+  Alcotest.check_raises "bad k"
+    (Invalid_argument "Proto.validate_config: need (n+f)/2 < k <= n-f") (fun () ->
+      P.validate_config { base with k = 4 })
+
+let test_quorum_thresholds () =
+  (* n=4 f=1: quorum needs > 2.5 i.e. >= 3; half needs > 1.25 i.e. >= 2 *)
+  let c = P.default_config ~n:4 in
+  Alcotest.(check bool) "2 no" false (P.quorum_exceeded c 2);
+  Alcotest.(check bool) "3 yes" true (P.quorum_exceeded c 3);
+  Alcotest.(check bool) "half 1 no" false (P.half_quorum_exceeded c 1);
+  Alcotest.(check bool) "half 2 yes" true (P.half_quorum_exceeded c 2);
+  (* n=16 f=5: quorum > 10.5 i.e. >= 11; half > 5.25 i.e. >= 6 *)
+  let c = P.default_config ~n:16 in
+  Alcotest.(check bool) "10 no" false (P.quorum_exceeded c 10);
+  Alcotest.(check bool) "11 yes" true (P.quorum_exceeded c 11);
+  Alcotest.(check bool) "half 5 no" false (P.half_quorum_exceeded c 5);
+  Alcotest.(check bool) "half 6 yes" true (P.half_quorum_exceeded c 6)
+
+let test_sigma_formula () =
+  (* sigma = ceil((n-t)/2) * (n-k-t) + k - 2 *)
+  let sigma ~n ~k ~t = P.sigma { (P.default_config ~n) with k } ~t in
+  Alcotest.(check int) "n=4 k=3 t=0" ((2 * 1) + 1) (sigma ~n:4 ~k:3 ~t:0);
+  Alcotest.(check int) "n=10 k=7 t=0" ((5 * 3) + 5) (sigma ~n:10 ~k:7 ~t:0);
+  Alcotest.(check int) "n=10 k=7 t=3" ((4 * 0) + 5) (sigma ~n:10 ~k:7 ~t:3);
+  Alcotest.check_raises "t > f" (Invalid_argument "Proto.sigma: need 0 <= t <= f") (fun () ->
+      ignore (sigma ~n:4 ~k:3 ~t:2))
+
+(* --- Message ----------------------------------------------------------- *)
+
+let mk_msg ?(sender = 1) ?(phase = 4) ?(value = P.V1) ?(origin = P.Deterministic)
+    ?(status = P.Undecided) ?(proof = Bytes.make 32 '\x11') () =
+  { Core.Message.sender; phase; value; origin; status; proof }
+
+let msg_testable =
+  Alcotest.testable
+    (fun fmt m -> Format.pp_print_string fmt (Core.Message.describe m))
+    (fun a b -> Core.Message.header_equal a b && Bytes.equal a.proof b.proof)
+
+let test_message_roundtrip () =
+  let msg = mk_msg () in
+  let envelope = { Core.Message.msg; justification = [ mk_msg ~sender:2 ~phase:3 (); mk_msg ~sender:3 ~phase:3 ~value:P.Vbot () ] } in
+  let back = Core.Message.decode (Core.Message.encode envelope) in
+  Alcotest.(check msg_testable) "main" msg back.msg;
+  Alcotest.(check (list msg_testable)) "justification" envelope.justification back.justification
+
+let test_message_empty_justification () =
+  let envelope = { Core.Message.msg = mk_msg (); justification = [] } in
+  let back = Core.Message.decode (Core.Message.encode envelope) in
+  Alcotest.(check int) "no justification" 0 (List.length back.justification)
+
+let test_message_size_grows_with_justification () =
+  let small = { Core.Message.msg = mk_msg (); justification = [] } in
+  let big =
+    { Core.Message.msg = mk_msg (); justification = List.init 10 (fun i -> mk_msg ~sender:i ()) }
+  in
+  Alcotest.(check bool) "bigger" true
+    (Core.Message.encoded_size big > Core.Message.encoded_size small + 300)
+
+let test_message_rejects_garbage () =
+  Alcotest.check_raises "empty buffer" Util.Codec.Truncated (fun () ->
+      ignore (Core.Message.decode Bytes.empty));
+  (* phase 0 *)
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.u16 w 1;
+  Util.Codec.W.varint w 0;
+  Util.Codec.W.u8 w 0;
+  Util.Codec.W.u8 w 0;
+  Util.Codec.W.u8 w 0;
+  Util.Codec.W.bytes_lp w (Bytes.make 32 'x');
+  Util.Codec.W.u16 w 0;
+  Alcotest.check_raises "phase 0" (Util.Codec.Malformed "message phase < 1") (fun () ->
+      ignore (Core.Message.decode (Util.Codec.W.contents w)))
+
+let test_message_slots () =
+  let slot = Core.Message.slot_of in
+  Alcotest.(check bool) "bot" true (slot ~value:P.Vbot ~origin:P.Deterministic = Crypto.Onetime_sig.S_bot);
+  Alcotest.(check bool) "bot rand" true (slot ~value:P.Vbot ~origin:P.Random = Crypto.Onetime_sig.S_bot);
+  Alcotest.(check bool) "v0 det" true (slot ~value:P.V0 ~origin:P.Deterministic = Crypto.Onetime_sig.S_zero);
+  Alcotest.(check bool) "v1 rand" true (slot ~value:P.V1 ~origin:P.Random = Crypto.Onetime_sig.S_rand_one)
+
+let qcheck_message_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* sender = int_range 0 65535 in
+      let* phase = int_range 1 10000 in
+      let* value = oneofl [ P.V0; P.V1; P.Vbot ] in
+      let* origin = oneofl [ P.Deterministic; P.Random ] in
+      let* status = oneofl [ P.Undecided; P.Decided ] in
+      let* proof_len = int_range 0 64 in
+      let* proof_seed = int_range 0 255 in
+      return (mk_msg ~sender ~phase ~value ~origin ~status
+                ~proof:(Bytes.make proof_len (Char.chr proof_seed)) ()))
+  in
+  QCheck.Test.make ~name:"message wire roundtrip" ~count:300
+    (QCheck.make ~print:Core.Message.describe gen) (fun msg ->
+      let back = Core.Message.msg_of_bytes (Core.Message.msg_to_bytes msg) in
+      Core.Message.header_equal msg back && Bytes.equal msg.proof back.proof)
+
+(* --- Keyring ------------------------------------------------------------- *)
+
+let keyrings = lazy (Core.Keyring.setup (Util.Rng.create ~seed:200L) ~n:4 ~phases:12 ())
+
+let test_keyring_setup () =
+  let krs = Lazy.force keyrings in
+  Alcotest.(check int) "count" 4 (Array.length krs);
+  Array.iteri (fun i kr -> Alcotest.(check int) "owner" i (Core.Keyring.owner kr)) krs;
+  Alcotest.(check int) "phases" 12 (Core.Keyring.phases krs.(0))
+
+let test_keyring_cross_check () =
+  let krs = Lazy.force keyrings in
+  let proof = Core.Keyring.sign krs.(1) ~phase:5 ~value:P.V1 ~origin:P.Random in
+  (* every other process accepts it for exactly that tuple *)
+  Array.iter
+    (fun kr ->
+      Alcotest.(check bool) "accepts" true
+        (Core.Keyring.check kr ~signer:1 ~phase:5 ~value:P.V1 ~origin:P.Random ~proof);
+      Alcotest.(check bool) "wrong value" false
+        (Core.Keyring.check kr ~signer:1 ~phase:5 ~value:P.V0 ~origin:P.Random ~proof);
+      Alcotest.(check bool) "wrong origin" false
+        (Core.Keyring.check kr ~signer:1 ~phase:5 ~value:P.V1 ~origin:P.Deterministic ~proof);
+      Alcotest.(check bool) "wrong signer" false
+        (Core.Keyring.check kr ~signer:2 ~phase:5 ~value:P.V1 ~origin:P.Random ~proof);
+      Alcotest.(check bool) "wrong phase" false
+        (Core.Keyring.check kr ~signer:1 ~phase:6 ~value:P.V1 ~origin:P.Random ~proof))
+    krs
+
+let test_keyring_check_message () =
+  let krs = Lazy.force keyrings in
+  let proof = Core.Keyring.sign krs.(2) ~phase:3 ~value:P.Vbot ~origin:P.Deterministic in
+  let msg = mk_msg ~sender:2 ~phase:3 ~value:P.Vbot ~proof () in
+  Alcotest.(check bool) "valid" true (Core.Keyring.check_message krs.(0) msg);
+  let forged = { msg with sender = 3 } in
+  Alcotest.(check bool) "forged" false (Core.Keyring.check_message krs.(0) forged)
+
+let test_keyring_out_of_range () =
+  let krs = Lazy.force keyrings in
+  Alcotest.(check bool) "unknown signer" false
+    (Core.Keyring.check krs.(0) ~signer:9 ~phase:1 ~value:P.V0 ~origin:P.Deterministic
+       ~proof:(Bytes.make 32 'a'))
+
+(* --- Vset ------------------------------------------------------------------ *)
+
+let test_vset_add_dedup () =
+  let v = Core.Vset.create ~n:4 in
+  Alcotest.(check bool) "first" true (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ()));
+  Alcotest.(check bool) "dup" false (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V0 ()));
+  Alcotest.(check bool) "other phase" true (Core.Vset.add v (mk_msg ~sender:0 ~phase:2 ()));
+  Alcotest.(check bool) "out of range" false (Core.Vset.add v (mk_msg ~sender:7 ~phase:1 ()));
+  Alcotest.(check int) "size" 2 (Core.Vset.size v)
+
+let test_vset_counts () =
+  let v = Core.Vset.create ~n:5 in
+  ignore (Core.Vset.add v (mk_msg ~sender:0 ~phase:2 ~value:P.V0 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:1 ~phase:2 ~value:P.V1 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:2 ~phase:2 ~value:P.V1 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:3 ~phase:3 ~value:P.Vbot ()));
+  Alcotest.(check int) "phase 2" 3 (Core.Vset.count_phase v ~phase:2);
+  Alcotest.(check int) "phase 3" 1 (Core.Vset.count_phase v ~phase:3);
+  Alcotest.(check int) "phase 9" 0 (Core.Vset.count_phase v ~phase:9);
+  Alcotest.(check int) "v1 at 2" 2 (Core.Vset.count_value v ~phase:2 ~value:P.V1);
+  Alcotest.(check int) "bot at 3" 1 (Core.Vset.count_value v ~phase:3 ~value:P.Vbot)
+
+let test_vset_majority () =
+  let v = Core.Vset.create ~n:5 in
+  ignore (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V0 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:1 ~phase:1 ~value:P.V0 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:2 ~phase:1 ~value:P.V1 ()));
+  Alcotest.(check bool) "majority 0" true
+    (P.value_equal P.V0 (Core.Vset.majority_value v ~phase:1));
+  ignore (Core.Vset.add v (mk_msg ~sender:3 ~phase:1 ~value:P.V1 ()));
+  (* tie favors V1 *)
+  Alcotest.(check bool) "tie -> 1" true
+    (P.value_equal P.V1 (Core.Vset.majority_value v ~phase:1));
+  Alcotest.check_raises "no binary values"
+    (Invalid_argument "Vset.majority_value: no binary values at phase") (fun () ->
+      ignore (Core.Vset.majority_value v ~phase:9))
+
+let test_vset_highest () =
+  let v = Core.Vset.create ~n:4 in
+  Alcotest.(check int) "empty" 0 (Core.Vset.max_phase v);
+  ignore (Core.Vset.add v (mk_msg ~sender:0 ~phase:3 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:1 ~phase:7 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:2 ~phase:5 ()));
+  Alcotest.(check int) "max" 7 (Core.Vset.max_phase v);
+  match Core.Vset.highest_message v with
+  | Some m -> Alcotest.(check int) "highest sender" 1 m.sender
+  | None -> Alcotest.fail "expected highest"
+
+let test_vset_some_binary () =
+  let v = Core.Vset.create ~n:4 in
+  ignore (Core.Vset.add v (mk_msg ~sender:0 ~phase:3 ~value:P.Vbot ()));
+  Alcotest.(check bool) "only bot" true (Core.Vset.some_binary_value v ~phase:3 = None);
+  ignore (Core.Vset.add v (mk_msg ~sender:1 ~phase:3 ~value:P.V0 ()));
+  Alcotest.(check bool) "finds v0" true
+    (match Core.Vset.some_binary_value v ~phase:3 with
+    | Some b -> P.value_equal b P.V0
+    | None -> false)
+
+let test_vset_messages_at_sorted () =
+  let v = Core.Vset.create ~n:4 in
+  ignore (Core.Vset.add v (mk_msg ~sender:2 ~phase:1 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ()));
+  ignore (Core.Vset.add v (mk_msg ~sender:3 ~phase:1 ()));
+  Alcotest.(check (list int)) "ascending senders" [ 0; 2; 3 ]
+    (List.map (fun (m : Core.Message.t) -> m.sender) (Core.Vset.messages_at v ~phase:1))
+
+let suite =
+  ( "core-units",
+    [
+      Alcotest.test_case "value encoding" `Quick test_value_encoding;
+      Alcotest.test_case "value of bit" `Quick test_value_of_bit;
+      Alcotest.test_case "phase kinds" `Quick test_phase_kinds;
+      Alcotest.test_case "default config" `Quick test_default_config;
+      Alcotest.test_case "config rejects" `Quick test_validate_config_rejects;
+      Alcotest.test_case "quorum thresholds" `Quick test_quorum_thresholds;
+      Alcotest.test_case "sigma formula" `Quick test_sigma_formula;
+      Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+      Alcotest.test_case "message empty justification" `Quick test_message_empty_justification;
+      Alcotest.test_case "message size" `Quick test_message_size_grows_with_justification;
+      Alcotest.test_case "message garbage" `Quick test_message_rejects_garbage;
+      Alcotest.test_case "message slots" `Quick test_message_slots;
+      QCheck_alcotest.to_alcotest qcheck_message_roundtrip;
+      Alcotest.test_case "keyring setup" `Quick test_keyring_setup;
+      Alcotest.test_case "keyring cross check" `Quick test_keyring_cross_check;
+      Alcotest.test_case "keyring check message" `Quick test_keyring_check_message;
+      Alcotest.test_case "keyring out of range" `Quick test_keyring_out_of_range;
+      Alcotest.test_case "vset add/dedup" `Quick test_vset_add_dedup;
+      Alcotest.test_case "vset counts" `Quick test_vset_counts;
+      Alcotest.test_case "vset majority" `Quick test_vset_majority;
+      Alcotest.test_case "vset highest" `Quick test_vset_highest;
+      Alcotest.test_case "vset some binary" `Quick test_vset_some_binary;
+      Alcotest.test_case "vset sorted" `Quick test_vset_messages_at_sorted;
+    ] )

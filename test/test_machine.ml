@@ -1,0 +1,240 @@
+(* Tests of the pure protocol machine: scripted transitions and
+   randomized safety properties in the abstract (transport-free) model. *)
+
+module P = Core.Proto
+module M = Core.Machine
+
+let make_group ?(n = 4) ?(seed = 300L) ?(proposals = [| 1; 1; 1; 1 |]) ?(byzantine = []) () =
+  let rng = Util.Rng.create ~seed in
+  let cfg = { (P.default_config ~n) with max_phases = 60 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:60 () in
+  let machines =
+    Array.init n (fun i ->
+        let behavior = if List.mem i byzantine then M.Attacker else M.Correct in
+        M.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+          ~proposal:proposals.(i) ())
+  in
+  (cfg, machines)
+
+(* one lossless synchronous round: everyone broadcasts with justification,
+   everyone receives everything *)
+let round machines =
+  let envelopes = Array.map (fun m -> M.prepare m ~justify:true) machines in
+  Array.iteri
+    (fun s env ->
+      match env with
+      | None -> ()
+      | Some env ->
+          Array.iteri (fun r m -> if r <> s then ignore (M.handle m env)) machines)
+    envelopes
+
+let test_initial_state () =
+  let _, machines = make_group () in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check int) "id" i (M.id m);
+      Alcotest.(check int) "phase 1" 1 (M.phase m);
+      Alcotest.(check bool) "undecided" true (M.current_status m = P.Undecided);
+      Alcotest.(check (option int)) "no decision" None (M.decision m))
+    machines
+
+let test_rejects_bad_proposal () =
+  let rng = Util.Rng.create ~seed:1L in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n:4 ~phases:12 () in
+  Alcotest.check_raises "proposal 2" (Invalid_argument "Proto.value_of_bit: 2") (fun () ->
+      ignore
+        (M.create
+           { (P.default_config ~n:4) with max_phases = 12 }
+           ~keyring:keyrings.(0) ~rng ~proposal:2 ()))
+
+let test_unanimous_decides_phase_3 () =
+  let _, machines = make_group () in
+  (* three lossless rounds: CONVERGE, LOCK, DECIDE *)
+  round machines;
+  round machines;
+  round machines;
+  Array.iter
+    (fun m ->
+      Alcotest.(check (option int)) "decided 1" (Some 1) (M.decision m);
+      Alcotest.(check (option int)) "at phase 3" (Some 3) (M.decision_phase m))
+    machines
+
+let test_unanimous_zero () =
+  let _, machines = make_group ~proposals:[| 0; 0; 0; 0 |] () in
+  for _ = 1 to 3 do round machines done;
+  Array.iter (fun m -> Alcotest.(check (option int)) "decided 0" (Some 0) (M.decision m)) machines
+
+let test_divergent_agreement () =
+  let _, machines = make_group ~seed:301L ~proposals:[| 1; 0; 1; 0 |] () in
+  let rounds = ref 0 in
+  while Array.exists (fun m -> M.decision m = None) machines && !rounds < 40 do
+    round machines;
+    incr rounds
+  done;
+  let decisions = Array.to_list machines |> List.filter_map M.decision in
+  Alcotest.(check int) "all decided" 4 (List.length decisions);
+  (match decisions with
+  | v :: rest -> List.iter (fun d -> Alcotest.(check int) "agreement" v d) rest
+  | [] -> ());
+  Alcotest.(check bool) "within a few cycles" true (!rounds <= 12)
+
+let test_validity_under_attack () =
+  (* all correct propose 1; the attacker must not change the outcome *)
+  let _, machines = make_group ~n:4 ~seed:302L ~byzantine:[ 3 ] () in
+  let correct = [ 0; 1; 2 ] in
+  let rounds = ref 0 in
+  while List.exists (fun i -> M.decision machines.(i) = None) correct && !rounds < 40 do
+    round machines;
+    incr rounds
+  done;
+  List.iter
+    (fun i -> Alcotest.(check (option int)) "validity" (Some 1) (M.decision machines.(i)))
+    correct
+
+let test_adoption_catches_up () =
+  (* process 3 misses every message for 3 rounds, then receives one
+     justified envelope from a decided process and adopts *)
+  let _, machines = make_group ~seed:303L () in
+  let laggard = machines.(3) in
+  let rest = [ machines.(0); machines.(1); machines.(2) ] in
+  for _ = 1 to 3 do
+    let envelopes = List.map (fun m -> (M.id m, M.prepare m ~justify:true)) rest in
+    List.iter
+      (fun (s, env) ->
+        match env with
+        | None -> ()
+        | Some env ->
+            List.iter (fun m -> if M.id m <> s then ignore (M.handle m env)) rest)
+      envelopes
+  done;
+  Alcotest.(check (option int)) "others decided" (Some 1) (M.decision machines.(0));
+  Alcotest.(check int) "laggard still at 1" 1 (M.phase laggard);
+  (* one justified message is enough to adopt the decided state *)
+  (match M.prepare machines.(0) ~justify:true with
+  | Some env ->
+      let events, _ = M.handle laggard env in
+      Alcotest.(check bool) "decided event" true
+        (List.exists (function M.Decided _ -> true | M.Phase_changed _ -> false) events)
+  | None -> Alcotest.fail "prepare failed");
+  Alcotest.(check (option int)) "laggard decided" (Some 1) (M.decision laggard)
+
+let test_key_horizon_exhaustion () =
+  let rng = Util.Rng.create ~seed:304L in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n:4 ~phases:4 () in
+  let cfg = { (P.default_config ~n:4) with max_phases = 4 } in
+  let m = M.create cfg ~keyring:keyrings.(0) ~rng ~proposal:1 () in
+  Alcotest.(check bool) "phase 1 ok" true (M.prepare m ~justify:false <> None)
+
+let test_attacker_message_content () =
+  let _, machines = make_group ~byzantine:[ 0 ] () in
+  match M.prepare machines.(0) ~justify:false with
+  | Some env ->
+      (* attacker in a CONVERGE phase flips its value (all propose 1) *)
+      Alcotest.(check bool) "flipped" true (P.value_equal env.msg.value P.V0)
+  | None -> Alcotest.fail "prepare failed"
+
+let test_stats_accumulate () =
+  let _, machines = make_group () in
+  round machines;
+  let s = M.stats machines.(0) in
+  Alcotest.(check bool) "accepted some" true (s.accepted > 0);
+  Alcotest.(check int) "no auth failures" 0 s.rejected_auth
+
+let test_same_state_detection () =
+  let _, machines = make_group () in
+  Alcotest.(check bool) "before any broadcast" false
+    (M.same_state_as_last_broadcast machines.(0));
+  ignore (M.prepare machines.(0) ~justify:false);
+  Alcotest.(check bool) "unchanged state" true (M.same_state_as_last_broadcast machines.(0))
+
+(* --- randomized safety: agreement and validity hold under arbitrary
+       omission patterns and Byzantine attackers ----------------------------- *)
+
+let run_random_schedule ~n ~byzantine ~proposals ~drop_prob ~rounds ~seed =
+  let rng = Util.Rng.create ~seed in
+  let cfg = { (P.default_config ~n) with max_phases = 3 * rounds + 9 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:cfg.max_phases () in
+  let machines =
+    Array.init n (fun i ->
+        let behavior = if List.mem i byzantine then M.Attacker else M.Correct in
+        M.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+          ~proposal:proposals.(i) ())
+  in
+  for _ = 1 to rounds do
+    let envelopes = Array.map (fun m -> M.prepare m ~justify:(Util.Rng.bool rng)) machines in
+    (* deliver in random order with random omissions *)
+    let deliveries = ref [] in
+    Array.iteri
+      (fun s env ->
+        match env with
+        | None -> ()
+        | Some env ->
+            Array.iteri
+              (fun r _ ->
+                if r <> s && not (Util.Rng.bernoulli rng drop_prob) then
+                  deliveries := (r, env) :: !deliveries)
+              machines)
+      envelopes;
+    let order = Array.of_list !deliveries in
+    Util.Rng.shuffle rng order;
+    Array.iter (fun (r, env) -> ignore (M.handle machines.(r) env)) order
+  done;
+  machines
+
+let qcheck_safety_random_schedules =
+  QCheck.Test.make ~name:"agreement+validity under random omissions" ~count:40
+    QCheck.(
+      triple (int_range 0 1000000)
+        (int_range 0 60) (* drop percentage *)
+        (oneofl [ (4, [ 3 ]); (4, []); (7, [ 5; 6 ]); (7, []) ]))
+    (fun (seed, drop_pct, (n, byzantine)) ->
+      let rng = Util.Rng.create ~seed:(Int64.of_int seed) in
+      let proposals = Array.init n (fun _ -> Util.Rng.coin rng) in
+      let machines =
+        run_random_schedule ~n ~byzantine ~proposals
+          ~drop_prob:(float_of_int drop_pct /. 100.0)
+          ~rounds:25
+          ~seed:(Int64.of_int (seed + 1))
+      in
+      let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n Fun.id) in
+      let decisions = List.filter_map (fun i -> M.decision machines.(i)) correct in
+      let agreement =
+        match decisions with [] -> true | v :: rest -> List.for_all (( = ) v) rest
+      in
+      let validity =
+        let proposed = List.map (fun i -> proposals.(i)) correct in
+        match List.sort_uniq compare proposed with
+        | [ v ] -> List.for_all (( = ) v) decisions
+        | _ -> true
+      in
+      agreement && validity)
+
+let qcheck_liveness_lossless =
+  QCheck.Test.make ~name:"lossless schedules decide quickly" ~count:25
+    QCheck.(pair (int_range 0 100000) (oneofl [ 4; 5; 7 ]))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create ~seed:(Int64.of_int seed) in
+      let proposals = Array.init n (fun _ -> Util.Rng.coin rng) in
+      let machines =
+        run_random_schedule ~n ~byzantine:[] ~proposals ~drop_prob:0.0 ~rounds:30
+          ~seed:(Int64.of_int (seed + 7))
+      in
+      Array.for_all (fun m -> M.decision m <> None) machines)
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "bad proposal" `Quick test_rejects_bad_proposal;
+      Alcotest.test_case "unanimous phase 3" `Quick test_unanimous_decides_phase_3;
+      Alcotest.test_case "unanimous zero" `Quick test_unanimous_zero;
+      Alcotest.test_case "divergent agreement" `Quick test_divergent_agreement;
+      Alcotest.test_case "validity under attack" `Quick test_validity_under_attack;
+      Alcotest.test_case "adoption catch-up" `Quick test_adoption_catches_up;
+      Alcotest.test_case "key horizon" `Quick test_key_horizon_exhaustion;
+      Alcotest.test_case "attacker content" `Quick test_attacker_message_content;
+      Alcotest.test_case "stats" `Quick test_stats_accumulate;
+      Alcotest.test_case "same state detection" `Quick test_same_state_detection;
+      QCheck_alcotest.to_alcotest qcheck_safety_random_schedules;
+      QCheck_alcotest.to_alcotest qcheck_liveness_lossless;
+    ] )

@@ -1,0 +1,124 @@
+(* Tests for the totally-ordered message log. *)
+
+let setup ?(n = 4) ?(capacity = 8) ?(loss = 0.01) ?(seed = 910L) () =
+  let engine = Net.Engine.create () in
+  let rng = Util.Rng.create ~seed in
+  let radio = Net.Radio.create engine (Util.Rng.split rng) ~n in
+  Net.Radio.set_loss_prob radio loss;
+  let cfg = { (Core.Proto.default_config ~n) with max_phases = 45 } in
+  let keyrings =
+    Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:(capacity * cfg.max_phases) ()
+  in
+  let logs =
+    Array.init n (fun i ->
+        let node = Net.Node.create engine radio ~id:i ~rng:(Util.Rng.split rng) in
+        Core.Ordered_log.create node cfg ~keyring:keyrings.(i) ~capacity ())
+  in
+  (engine, logs)
+
+let run_until engine logs ~slots ~horizon =
+  Net.Engine.run_while engine (fun () ->
+      Net.Engine.now engine < horizon
+      && Array.exists
+           (fun log -> List.length (Core.Ordered_log.delivered log) < slots)
+           logs)
+
+let payloads_of log =
+  List.map
+    (fun (slot, payload) -> (slot, Option.map Bytes.to_string payload))
+    (Core.Ordered_log.delivered log)
+
+let test_everyone_gets_same_log () =
+  let engine, logs = setup () in
+  (* processes 0..3 each submit one message; slots rotate 0,1,2,3,... *)
+  Array.iteri
+    (fun i log -> Core.Ordered_log.submit log (Bytes.of_string (Printf.sprintf "from-%d" i)))
+    logs;
+  Array.iter Core.Ordered_log.start logs;
+  run_until engine logs ~slots:4 ~horizon:30.0;
+  let reference = payloads_of logs.(0) in
+  Alcotest.(check bool) "4 slots" true (List.length reference >= 4);
+  Array.iter
+    (fun log ->
+      let mine = payloads_of log in
+      let shared = min (List.length mine) (List.length reference) in
+      List.iteri
+        (fun i (slot, payload) ->
+          if i < shared then begin
+            let rslot, rpayload = List.nth reference i in
+            Alcotest.(check int) "same slot" rslot slot;
+            Alcotest.(check (option string)) "same payload" rpayload payload
+          end)
+        mine)
+    logs;
+  (* the four submissions all appear, in proposer order *)
+  List.iteri
+    (fun slot (s, payload) ->
+      Alcotest.(check int) "slot number" slot s;
+      if slot < 4 then
+        Alcotest.(check (option string)) "content" (Some (Printf.sprintf "from-%d" slot)) payload)
+    (List.filteri (fun i _ -> i < 4) reference)
+
+let test_silent_proposers_are_skipped () =
+  let engine, logs = setup ~seed:911L () in
+  (* only process 2 submits; slots 0, 1 (and 3) must be skipped *)
+  Core.Ordered_log.submit logs.(2) (Bytes.of_string "lonely");
+  Array.iter Core.Ordered_log.start logs;
+  run_until engine logs ~slots:3 ~horizon:30.0;
+  let log = payloads_of logs.(0) in
+  Alcotest.(check bool) "slot 0 skipped" true (List.assoc 0 log = None);
+  Alcotest.(check bool) "slot 1 skipped" true (List.assoc 1 log = None);
+  Alcotest.(check (option string)) "slot 2 committed" (Some "lonely") (List.assoc 2 log)
+
+let test_multiple_rounds_per_proposer () =
+  let engine, logs = setup ~capacity:8 ~seed:912L () in
+  (* process 1 submits two messages: they go to slots 1 and 5 *)
+  Core.Ordered_log.submit logs.(1) (Bytes.of_string "first");
+  Core.Ordered_log.submit logs.(1) (Bytes.of_string "second");
+  Array.iter Core.Ordered_log.start logs;
+  run_until engine logs ~slots:6 ~horizon:40.0;
+  let log = payloads_of logs.(3) in
+  Alcotest.(check (option string)) "slot 1" (Some "first") (List.assoc 1 log);
+  Alcotest.(check (option string)) "slot 5" (Some "second") (List.assoc 5 log)
+
+let test_order_under_loss () =
+  let engine, logs = setup ~loss:0.15 ~seed:913L () in
+  Array.iteri
+    (fun i log ->
+      Core.Ordered_log.submit log (Bytes.of_string (Printf.sprintf "m%d" i)))
+    logs;
+  Array.iter Core.Ordered_log.start logs;
+  run_until engine logs ~slots:4 ~horizon:60.0;
+  (* agreement on the common prefix across all processes *)
+  let reference = payloads_of logs.(0) in
+  Array.iter
+    (fun log ->
+      let mine = payloads_of log in
+      let shared = min (List.length mine) (List.length reference) in
+      for i = 0 to shared - 1 do
+        Alcotest.(check bool) "prefix agreement" true
+          (List.nth mine i = List.nth reference i)
+      done)
+    logs;
+  Alcotest.(check bool) "made progress" true (List.length reference >= 4)
+
+let test_rejects_bad_capacity () =
+  let engine = Net.Engine.create () in
+  ignore engine;
+  let rng = Util.Rng.create ~seed:914L in
+  let radio = Net.Radio.create (Net.Engine.create ()) (Util.Rng.split rng) ~n:4 in
+  let cfg = { (Core.Proto.default_config ~n:4) with max_phases = 45 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n:4 ~phases:45 () in
+  let node = Net.Node.create (Net.Engine.create ()) radio ~id:0 ~rng:(Util.Rng.split rng) in
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Ordered_log.create: capacity must be positive")
+    (fun () -> ignore (Core.Ordered_log.create node cfg ~keyring:keyrings.(0) ~capacity:0 ()))
+
+let suite =
+  ( "ordered-log",
+    [
+      Alcotest.test_case "same log everywhere" `Quick test_everyone_gets_same_log;
+      Alcotest.test_case "silent proposers skipped" `Quick test_silent_proposers_are_skipped;
+      Alcotest.test_case "multiple rounds" `Quick test_multiple_rounds_per_proposer;
+      Alcotest.test_case "order under loss" `Slow test_order_under_loss;
+      Alcotest.test_case "bad capacity" `Quick test_rejects_bad_capacity;
+    ] )

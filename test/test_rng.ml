@@ -1,0 +1,150 @@
+(* Unit and property tests for Util.Rng. *)
+
+let test_determinism () =
+  let a = Util.Rng.create ~seed:42L in
+  let b = Util.Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Util.Rng.create ~seed:1L in
+  let b = Util.Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Rng.bits64 a = Util.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independence () =
+  let parent = Util.Rng.create ~seed:7L in
+  let child = Util.Rng.split parent in
+  let c1 = Util.Rng.bits64 child in
+  (* drawing from the parent must not affect the child's stream *)
+  let parent2 = Util.Rng.create ~seed:7L in
+  let child2 = Util.Rng.split parent2 in
+  ignore (Util.Rng.bits64 parent2);
+  Alcotest.(check int64) "child independent of parent draws" c1 (Util.Rng.bits64 child2)
+
+let test_copy () =
+  let a = Util.Rng.create ~seed:3L in
+  ignore (Util.Rng.bits64 a);
+  let b = Util.Rng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+
+let test_int_bounds () =
+  let rng = Util.Rng.create ~seed:11L in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Util.Rng.create ~seed:11L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Util.Rng.int rng 0))
+
+let test_int_covers_all_values () =
+  let rng = Util.Rng.create ~seed:13L in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Util.Rng.int rng 5) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d drawn" i) true s) seen
+
+let test_float_bounds () =
+  let rng = Util.Rng.create ~seed:17L in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_coin_unbiased () =
+  let rng = Util.Rng.create ~seed:19L in
+  let ones = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    ones := !ones + Util.Rng.coin rng
+  done;
+  let ratio = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "roughly fair" true (ratio > 0.47 && ratio < 0.53)
+
+let test_bernoulli_rate () =
+  let rng = Util.Rng.create ~seed:23L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Util.Rng.bernoulli rng 0.1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to p" true (rate > 0.085 && rate < 0.115)
+
+let test_bernoulli_extremes () =
+  let rng = Util.Rng.create ~seed:29L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Util.Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Util.Rng.bernoulli rng 1.0)
+  done
+
+let test_bytes_length () =
+  let rng = Util.Rng.create ~seed:31L in
+  List.iter
+    (fun len ->
+      Alcotest.(check int) "length" len (Bytes.length (Util.Rng.bytes rng len)))
+    [ 0; 1; 7; 8; 9; 32; 1000 ]
+
+let test_bytes_entropy () =
+  let rng = Util.Rng.create ~seed:37L in
+  let b = Util.Rng.bytes rng 1024 in
+  let distinct = Hashtbl.create 256 in
+  Bytes.iter (fun c -> Hashtbl.replace distinct c ()) b;
+  Alcotest.(check bool) "many distinct bytes" true (Hashtbl.length distinct > 200)
+
+let test_exponential_mean () =
+  let rng = Util.Rng.create ~seed:41L in
+  let acc = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    acc := !acc +. Util.Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.7 && mean < 5.3)
+
+let test_shuffle_permutation () =
+  let rng = Util.Rng.create ~seed:43L in
+  let a = Array.init 50 (fun i -> i) in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"rng int never out of bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Util.Rng.create ~seed in
+      let v = Util.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+      Alcotest.test_case "split independence" `Quick test_split_independence;
+      Alcotest.test_case "copy" `Quick test_copy;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+      Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "coin unbiased" `Quick test_coin_unbiased;
+      Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+      Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "bytes length" `Quick test_bytes_length;
+      Alcotest.test_case "bytes entropy" `Quick test_bytes_entropy;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+    ] )
