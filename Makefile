@@ -1,0 +1,23 @@
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# dune-file formatting only: ocamlformat is not part of the toolchain
+# (see dune-project), so @fmt checks the build metadata
+fmt:
+	dune build @fmt
+
+# the gate a PR must pass: formatting, a warning-clean build, all tests
+check: fmt build test
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

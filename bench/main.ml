@@ -24,6 +24,7 @@ let sigma = ref true
 let phases = ref true
 let micro = ref true
 let seed = ref 1000L
+let json_out = ref None
 
 let speclist =
   [
@@ -53,6 +54,9 @@ let speclist =
           sigma := false;
           phases := false),
       " only the Bechamel micro-benchmarks" );
+    ( "--json",
+      Arg.String (fun f -> json_out := Some f),
+      "FILE write a machine-readable summary (table cells + per-load metrics) to FILE" );
   ]
 
 let banner title =
@@ -71,7 +75,7 @@ let run_tables () =
       progress = Some (fun line -> Printf.eprintf "  [%s]\n%!" line);
     }
   in
-  List.iter
+  List.map
     (fun load ->
       banner
         (Printf.sprintf "Table %d: %s fault load (%d reps/cell)"
@@ -82,8 +86,65 @@ let run_tables () =
       print_string (Harness.Experiment.render_table load results);
       print_newline ();
       print_string (Harness.Experiment.render_comparison load results);
-      print_newline ())
+      print_newline ();
+      (load, results))
     [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ]
+
+(* --- machine-readable summary ---------------------------------------------- *)
+
+let cell_to_json (cr : Harness.Experiment.cell_result) =
+  Obs.Json.Obj
+    [
+      ("protocol", Obs.Json.String (Harness.Runner.protocol_to_string cr.cell.protocol));
+      ("n", Obs.Json.Int cr.cell.n);
+      ("dist", Obs.Json.String (Harness.Runner.dist_to_string cr.cell.dist));
+      ("mean_ms", Obs.Json.Float cr.summary.mean);
+      ("ci95_ms", Obs.Json.Float cr.summary.ci95);
+      ("decided_fraction", Obs.Json.Float cr.decided_fraction);
+      ("agreement_violations", Obs.Json.Int cr.agreement_violations);
+      ("validity_violations", Obs.Json.Int cr.validity_violations);
+      ("timeouts", Obs.Json.Int cr.timeouts);
+    ]
+
+(* one representative run per fault load so the JSON carries a full
+   metrics snapshot alongside the latency aggregates *)
+let metrics_json () =
+  Obs.Json.Obj
+    (List.map
+       (fun load ->
+         let r =
+           Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:4
+             ~dist:Harness.Runner.Unanimous ~load ~seed:!seed ()
+         in
+         (Net.Fault.load_to_string load, Obs.Metrics.to_json r.metrics))
+       [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ])
+
+let write_json file table_results =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("reps", Obs.Json.Int !reps);
+        ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) !sizes));
+        ("seed", Obs.Json.String (Int64.to_string !seed));
+        ( "tables",
+          Obs.Json.List
+            (List.map
+               (fun (load, results) ->
+                 Obs.Json.Obj
+                   [
+                     ("table", Obs.Json.Int (Harness.Experiment.table_number load));
+                     ("load", Obs.Json.String (Net.Fault.load_to_string load));
+                     ("cells", Obs.Json.List (List.map cell_to_json results));
+                   ])
+               table_results) );
+        ("metrics", metrics_json ());
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote JSON summary to %s\n%!" file
 
 (* --- section 2: sigma sweep ------------------------------------------------ *)
 
@@ -217,9 +278,10 @@ let () =
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "bench/main.exe [options]";
-  if !tables then run_tables ();
+  let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
   if !phases then run_phases ();
   if !phases then run_ablations ();
   if !micro then run_micro ();
+  (match !json_out with None -> () | Some file -> write_json file table_results);
   print_endline "benchmark complete."

@@ -195,10 +195,10 @@ let load_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
 
-let run_single protocol n divergent load seed loss trace =
+let run_single protocol n divergent load seed loss trace metrics trace_json =
   let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
   let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
-  if trace then Net.Trace.start ();
+  if trace || trace_json <> None then Net.Trace.start ();
   let result =
     Harness.Runner.run ~protocol ~n ~dist ~load ~conditions ~seed ()
   in
@@ -219,12 +219,22 @@ let run_single protocol n divergent load seed loss trace =
     result.latencies;
   Printf.printf "  radio: %d frames, %d bytes, %.3f s simulated\n" result.frames_sent
     result.bytes_sent result.duration;
+  if metrics then begin
+    print_endline "\n--- metrics ---";
+    print_string (Obs.Metrics.render_table result.metrics)
+  end;
+  (match trace_json with
+  | None -> ()
+  | Some file ->
+      let written = Obs.Trace2.export_file file in
+      Printf.printf "\nwrote %d trace events to %s\n" written file);
   if trace then begin
     Net.Trace.stop ();
     print_endline "\n--- protocol-level trace (radio tx suppressed; use the Trace API for all) ---";
     print_string
       (Net.Trace.render ~filter:(fun e -> e.Net.Trace.layer <> "radio") ~max_events:400 ())
-  end;
+  end
+  else if trace_json <> None then Net.Trace.stop ();
   0
 
 let run_cmd =
@@ -247,13 +257,62 @@ let run_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace afterwards.")
   in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the per-run metrics table.")
+  in
+  let trace_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:"Export the structured trace as JSONL to $(docv) (readable by the analyze subcommand).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"One verbose consensus execution")
-    Term.(const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg $ loss_arg $ trace_arg)
+    Term.(const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg)
+
+(* --- analyze ---------------------------------------------------------------- *)
+
+let run_analyze file n k t =
+  match Obs.Trace2.load_file file with
+  | Error msg ->
+      Printf.eprintf "analyze: %s\n" msg;
+      1
+  | Ok (events, skipped) ->
+      if skipped > 0 then
+        Printf.eprintf "analyze: skipped %d malformed line(s) in %s\n" skipped file;
+      if events = [] then begin
+        Printf.eprintf "analyze: no trace events in %s\n" file;
+        1
+      end
+      else begin
+        print_string (Obs.Analyze.analyze ?n ?k ?t events);
+        0
+      end
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace produced by run --trace-json.")
+  in
+  let n_arg =
+    Arg.(value & opt (some int) None
+         & info [ "n" ] ~docv:"N" ~doc:"Override the group size recorded in the trace.")
+  in
+  let k_arg =
+    Arg.(value & opt (some int) None
+         & info [ "k" ] ~docv:"K" ~doc:"Override the decision threshold k.")
+  in
+  let t_arg =
+    Arg.(value & opt (some int) None
+         & info [ "t" ] ~docv:"T" ~doc:"Override the Byzantine count t.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Reconstruct airtime, per-round timelines and a sigma stall report from a JSONL trace")
+    Term.(const run_analyze $ file_arg $ n_arg $ k_arg $ t_arg)
 
 let main_cmd =
   let doc = "Turquois (DSN 2010) reproduction laboratory" in
   Cmd.group (Cmd.info "turquois-lab" ~doc)
-    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd ]
+    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -256,6 +256,7 @@ let send_to_all t message =
   for dst = 0 to n t - 1 do
     if dst <> id t then begin
       t.stats.messages_sent <- t.stats.messages_sent + 1;
+      Obs.Metrics.incr "proto.msgs_sent" ~labels:[ ("proto", "abba") ];
       Net.Rlink.send t.link ~dst raw
     end
   done
@@ -404,6 +405,11 @@ and try_advance t =
             let b = List.hd mvs in
             if t.decision = None then begin
               t.decision <- Some b;
+              Obs.Metrics.incr "proto.decisions" ~labels:[ ("proto", "abba") ];
+              Obs.Trace2.emit
+                ~time:(Net.Engine.now (Net.Node.engine t.node))
+                ~node:(id t) ~layer:"abba" ~label:"decide"
+                [ ("value", Obs.Trace2.I b); ("round", Obs.Trace2.I t.round_i) ];
               match t.decide_cb with
               | Some cb -> cb ~value:b ~round:t.round_i
               | None -> ()
@@ -427,6 +433,7 @@ and try_advance t =
             | None ->
                 (* all abstained: flip the threshold coin *)
                 t.stats.coins_flipped <- t.stats.coins_flipped + 1;
+                Obs.Metrics.incr "proto.coin_flips" ~labels:[ ("proto", "abba") ];
                 let shares = Hashtbl.fold (fun _ s acc -> s :: acc) rs.shares [] in
                 Net.Node.charge t.node
                   (Net.Cost.coin_combine
@@ -447,6 +454,11 @@ and try_advance t =
         in
         t.round_i <- next_round;
         t.stats.rounds <- t.stats.rounds + 1;
+        Obs.Metrics.incr "proto.round_changes" ~labels:[ ("proto", "abba") ];
+        Obs.Trace2.emit
+          ~time:(Net.Engine.now (Net.Node.engine t.node))
+          ~node:(id t) ~layer:"abba" ~label:"round"
+          [ ("round", Obs.Trace2.I next_round) ];
         t.stage <- Wait_prevotes;
         send_prevote t ~round:next_round ~value:next_value ~just:next_just
       end

@@ -94,6 +94,7 @@ let send_to_all t raw =
   for dst = 0 to t.n - 1 do
     if dst <> id t then begin
       t.stats.messages_sent <- t.stats.messages_sent + 1;
+      Obs.Metrics.incr "proto.msgs_sent" ~labels:[ ("proto", "bracha") ];
       Net.Rlink.send t.link ~dst raw
     end
   done
@@ -178,6 +179,7 @@ let justified t body =
 
 let rec rb_cast t body =
   t.stats.rb_casts <- t.stats.rb_casts + 1;
+  Obs.Metrics.incr "proto.rb_casts" ~labels:[ ("proto", "bracha") ];
   let self = id t in
   send_to_all t (encode_rb { kind = Init; origin = self; body });
   (* local shortcut: our own INITIAL reaches us instantly *)
@@ -249,16 +251,29 @@ and try_advance t =
           if t.decision = None then begin
             t.decision <- Some best_w;
             t.decided_round <- t.round_i;
+            Obs.Metrics.incr "proto.decisions" ~labels:[ ("proto", "bracha") ];
+            Obs.Trace2.emit
+              ~time:(Net.Engine.now (Net.Node.engine t.node))
+              ~node:(id t) ~layer:"bracha" ~label:"decide"
+              [ ("value", Obs.Trace2.I best_w); ("round", Obs.Trace2.I t.round_i) ];
             match t.decide_cb with
             | Some cb -> cb ~value:best_w ~round:t.round_i
             | None -> ()
           end
         end
         else if d_best >= t.f + 1 then t.v_i <- best_w
-        else t.v_i <- Util.Rng.coin (Net.Node.rng t.node);
+        else begin
+          Obs.Metrics.incr "proto.coin_flips" ~labels:[ ("proto", "bracha") ];
+          t.v_i <- Util.Rng.coin (Net.Node.rng t.node)
+        end;
         t.dflag_i <- false;
         t.round_i <- t.round_i + 1;
         t.stats.rounds <- t.stats.rounds + 1;
+        Obs.Metrics.incr "proto.round_changes" ~labels:[ ("proto", "bracha") ];
+        Obs.Trace2.emit
+          ~time:(Net.Engine.now (Net.Node.engine t.node))
+          ~node:(id t) ~layer:"bracha" ~label:"round"
+          [ ("round", Obs.Trace2.I t.round_i) ];
         t.step_i <- 0);
     broadcast_current t;
     try_advance t

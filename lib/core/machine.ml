@@ -171,7 +171,9 @@ let prepare t ~justify =
 
 (* --- state transitions (task T2) ---------------------------------------- *)
 
-let local_coin t = if Util.Rng.bool t.rng then Proto.V1 else Proto.V0
+let local_coin t =
+  Obs.Metrics.incr "proto.coin_flips" ~labels:[ ("proto", "turquois") ];
+  if Util.Rng.bool t.rng then Proto.V1 else Proto.V0
 
 (* Transition rule 1 (lines 10-18): adopt the state of a higher-phase
    message. Coin-flip values are re-flipped locally (line 12). *)
@@ -318,6 +320,7 @@ let drain_pending t =
             (fun m ->
               if Vset.mem t.v ~sender:(fst key) ~phase:(snd key) then begin
                 t.stats.duplicates <- t.stats.duplicates + 1;
+                Obs.Metrics.incr "validation.duplicates";
                 t.pending_count <- t.pending_count - 1;
                 false
               end
@@ -327,7 +330,10 @@ let drain_pending t =
                   admitted_any := true;
                   progress := true
                 end
-                else t.stats.duplicates <- t.stats.duplicates + 1;
+                else begin
+                  t.stats.duplicates <- t.stats.duplicates + 1;
+                  Obs.Metrics.incr "validation.duplicates"
+                end;
                 t.pending_count <- t.pending_count - 1;
                 false
               end
@@ -351,15 +357,20 @@ let handle t { Message.msg; justification } =
   let auth_checks = ref 0 in
   let claims_before = Hashtbl.length t.decided_claims in
   let consider m =
-    if Vset.mem t.v ~sender:m.Message.sender ~phase:m.Message.phase then
-      t.stats.duplicates <- t.stats.duplicates + 1
+    if Vset.mem t.v ~sender:m.Message.sender ~phase:m.Message.phase then begin
+      t.stats.duplicates <- t.stats.duplicates + 1;
+      Obs.Metrics.incr "validation.duplicates"
+    end
     else begin
       incr auth_checks;
       if Keyring.check_message t.keyring m then begin
         record_decided_claim t m;
         pending_add t m
       end
-      else t.stats.rejected_auth <- t.stats.rejected_auth + 1
+      else begin
+        t.stats.rejected_auth <- t.stats.rejected_auth + 1;
+        Obs.Metrics.incr "validation.rejected" ~labels:[ ("rule", "auth") ]
+      end
     end
   in
   List.iter consider justification;

@@ -100,14 +100,19 @@ let broadcast_state t ~justify =
       | Onetime_cost -> ()  (* signing reveals a precomputed key: free *)
       | Rsa_cost -> Net.Node.charge t.node Net.Cost.rsa_sign);
       t.shell_stats.broadcasts <- t.shell_stats.broadcasts + 1;
-      if envelope.justification <> [] then
+      Obs.Metrics.incr "proto.broadcasts" ~labels:[ ("proto", "turquois") ];
+      Obs.Metrics.incr "proto.msgs_sent" ~labels:[ ("proto", "turquois") ];
+      if envelope.justification <> [] then begin
         t.shell_stats.justified_broadcasts <- t.shell_stats.justified_broadcasts + 1;
-      Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+        Obs.Metrics.incr "proto.justified" ~labels:[ ("proto", "turquois") ]
+      end;
+      Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
         ~layer:"turquois" ~label:"broadcast"
-        (Printf.sprintf "%s%s" (Message.describe envelope.msg)
-           (match envelope.justification with
-           | [] -> ""
-           | l -> Printf.sprintf " +%d justifying" (List.length l)));
+        [
+          ("msg", Obs.Trace2.S (Message.describe envelope.msg));
+          ("phase", Obs.Trace2.I envelope.msg.Message.phase);
+          ("justifying", Obs.Trace2.I (List.length envelope.justification));
+        ];
       Net.Node.broadcast t.node ~port:t.port (Message.encode envelope)
 
 let rec arm_tick t =
@@ -125,6 +130,7 @@ and on_tick t =
     t.ticks_since_decision <- t.ticks_since_decision + 1;
   if t.ticks_since_decision <= t.linger_ticks then begin
     t.shell_stats.ticks <- t.shell_stats.ticks + 1;
+    Obs.Metrics.incr "proto.ticks" ~labels:[ ("proto", "turquois") ];
     (* same state as the previous broadcast? then the optimistic small
        message was not enough — attach the justification (Section 6.2).
        Justified frames are an order of magnitude longer than plain
@@ -151,14 +157,16 @@ let react t events =
       match event with
       | Machine.Phase_changed p -> begin
           phase_changed := true;
-          Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
-            ~layer:"turquois" ~label:"phase" (string_of_int p);
+          Obs.Metrics.incr "proto.phase_changes" ~labels:[ ("proto", "turquois") ];
+          Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+            ~layer:"turquois" ~label:"phase" [ ("phase", Obs.Trace2.I p) ];
           match t.phase_cb with Some f -> f ~phase:p | None -> ()
         end
       | Machine.Decided { value; phase } -> begin
-          Net.Trace.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+          Obs.Metrics.incr "proto.decisions" ~labels:[ ("proto", "turquois") ];
+          Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
             ~layer:"turquois" ~label:"decide"
-            (Printf.sprintf "value %d at phase %d" value phase);
+            [ ("value", Obs.Trace2.I value); ("phase", Obs.Trace2.I phase) ];
           match t.decide_cb with Some f -> f ~value ~phase | None -> ()
         end)
     events;

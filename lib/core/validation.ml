@@ -119,12 +119,25 @@ let check_status cfg v (m : Message.t) =
     end
 
 let semantic_check cfg v m =
+  let reject rule = Obs.Metrics.incr "validation.rejected" ~labels:[ ("rule", rule) ] in
   match check_phase cfg v m with
-  | Invalid _ as bad -> bad
+  | Invalid _ as bad ->
+      reject "phase";
+      bad
   | Valid -> begin
       match check_value cfg v m with
-      | Invalid _ as bad -> bad
-      | Valid -> check_status cfg v m
+      | Invalid _ as bad ->
+          reject "value";
+          bad
+      | Valid -> begin
+          match check_status cfg v m with
+          | Invalid _ as bad ->
+              reject "status";
+              bad
+          | Valid ->
+              Obs.Metrics.incr "validation.accepted";
+              Valid
+        end
     end
 
 let is_valid cfg v m = match semantic_check cfg v m with Valid -> true | Invalid _ -> false

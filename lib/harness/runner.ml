@@ -25,6 +25,7 @@ type result = {
   timed_out : bool;
   frames_sent : int;
   bytes_sent : int;
+  metrics : Obs.Metrics.snapshot;
 }
 
 (* Key material caches — the paper generates and distributes all keys
@@ -63,8 +64,7 @@ let clear_key_cache () =
 let start_time rng =
   Net.Mac.airtime_broadcast ~payload_bytes:29 +. Util.Rng.float rng 200.0e-6
 
-let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
-    ?(timeout = 120.0) ~seed () =
+let run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed () =
   let engine = Net.Engine.create () in
   let rng = Util.Rng.create ~seed in
   let radio = Net.Radio.create engine (Util.Rng.split rng) ~n in
@@ -73,6 +73,21 @@ let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
   let faulty = Net.Fault.faulty_set ~n load in
   let crashed = match load with Net.Fault.Fail_stop -> faulty | _ -> [] in
   let byzantine = match load with Net.Fault.Byzantine -> faulty | _ -> [] in
+  let f = Net.Fault.max_f n in
+  Obs.Trace2.emit ~time:0.0 ~node:(-1) ~layer:"run" ~label:"meta"
+    [
+      ("protocol", Obs.Trace2.S (protocol_to_string protocol));
+      ("n", Obs.Trace2.I n);
+      ("f", Obs.Trace2.I f);
+      ("k", Obs.Trace2.I (n - f));
+      ("t", Obs.Trace2.I (List.length byzantine));
+      ("dist", Obs.Trace2.S (dist_to_string dist));
+      ("load", Obs.Trace2.S (Net.Fault.load_to_string load));
+      ("seed", Obs.Trace2.S (Int64.to_string seed));
+      ("tick_s", Obs.Trace2.F (Core.Proto.default_config ~n).Core.Proto.tick_interval);
+      ("loss_prob", Obs.Trace2.F conditions.Net.Fault.loss_prob);
+      ("crashed", Obs.Trace2.S (String.concat "," (List.map string_of_int crashed)));
+    ];
   let correct =
     List.filter (fun i -> not (List.mem i faulty)) (List.init n (fun i -> i))
   in
@@ -170,4 +185,14 @@ let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
     timed_out;
     frames_sent = radio_stats.frames_sent;
     bytes_sent = radio_stats.bytes_sent;
+    metrics = [];
   }
+
+let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
+    ?(timeout = 120.0) ~seed () =
+  (* each repetition starts from zeroed sinks: a leaked counter or
+     stale trace from the previous run would poison its successor *)
+  let result, metrics =
+    Obs.Scope.with_run (run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed)
+  in
+  { result with metrics }

@@ -36,6 +36,10 @@ type result = {
   timed_out : bool;
   frames_sent : int;               (** radio frames over the run *)
   bytes_sent : int;
+  metrics : Obs.Metrics.snapshot;
+      (** per-run metrics across every instrumented layer; the global
+          registry is reset at the start of each run ({!Obs.Scope.with_run}),
+          so repetitions never leak counters into each other *)
 }
 
 val run :

@@ -22,9 +22,22 @@ let benign_conditions = { loss_prob = 0.05; jam_windows = [] }
 
 let apply_conditions radio conditions =
   Radio.set_loss_prob radio conditions.loss_prob;
-  List.iter (fun (from, until) -> Radio.jam radio ~from ~until) conditions.jam_windows
+  Obs.Metrics.set "fault.loss_prob" conditions.loss_prob;
+  List.iter
+    (fun (from, until) ->
+      Obs.Metrics.incr "fault.jam_windows";
+      Obs.Trace2.emit ~time:from ~node:(-1) ~layer:"fault" ~label:"jam_window"
+        [ ("from", Obs.Trace2.F from); ("until", Obs.Trace2.F until) ];
+      Radio.jam radio ~from ~until)
+    conditions.jam_windows
 
 let apply_crashes radio ~n load =
   match load with
-  | Fail_stop -> List.iter (fun i -> Radio.set_down radio i true) (faulty_set ~n load)
+  | Fail_stop ->
+      List.iter
+        (fun i ->
+          Obs.Metrics.incr "fault.crashed";
+          Obs.Trace2.emit ~time:0.0 ~node:i ~layer:"fault" ~label:"crash" [];
+          Radio.set_down radio i true)
+        (faulty_set ~n load)
   | Failure_free | Byzantine -> ()

@@ -95,6 +95,7 @@ let rec start_contention t =
       | Some p ->
           t.current <- Some p;
           t.remaining_slots <- Util.Rng.int t.rng (p.cw + 1);
+          Obs.Metrics.incr "mac.backoff_slots" ~by:t.remaining_slots;
           wait_for_idle t
     end
   | Some _ -> wait_for_idle t
@@ -105,6 +106,7 @@ and wait_for_idle t =
     Radio.subscribe_idle t.radio (fun () -> if t.generation = gen then wait_for_idle t)
   else begin
     (* sense for DIFS; abort if anything starts meanwhile *)
+    Obs.Metrics.incr "mac.difs_waits";
     let difs_start = Engine.now t.engine in
     ignore
       (Engine.schedule t.engine ~delay:Const.difs (fun () ->
@@ -136,12 +138,13 @@ and transmit_current t =
       let dst = match p.p_dst with None -> broadcast_dst | Some d -> d in
       let frame = { kind; src = t.node_id; dst; seq = p.p_seq; payload = p.p_payload } in
       let encoded = encode_frame frame in
-      let duration =
+      let duration, frame_class =
         match p.p_dst with
-        | None -> airtime_broadcast ~payload_bytes:(Bytes.length p.p_payload)
-        | Some _ -> airtime_unicast ~payload_bytes:(Bytes.length p.p_payload)
+        | None -> (airtime_broadcast ~payload_bytes:(Bytes.length p.p_payload), "bcast")
+        | Some _ -> (airtime_unicast ~payload_bytes:(Bytes.length p.p_payload), "ucast")
       in
-      Radio.transmit t.radio ~sender:t.node_id ~duration encoded;
+      Obs.Metrics.incr "mac.tx" ~labels:[ ("class", frame_class) ];
+      Radio.transmit t.radio ~kind:frame_class ~sender:t.node_id ~duration encoded;
       (match p.p_dst with
       | None ->
           (* fire and forget: done at end of airtime *)
@@ -167,10 +170,13 @@ and handle_ack_timeout t =
       t.awaiting_ack <- None;
       p.retries <- p.retries + 1;
       if p.retries > Const.retry_limit then begin
-        Trace.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac" ~label:"drop"
-          (Printf.sprintf "to p%s after %d retries"
-             (match p.p_dst with Some d -> string_of_int d | None -> "*")
-             Const.retry_limit);
+        Obs.Metrics.incr "mac.drops";
+        Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac"
+          ~label:"drop"
+          [
+            ("dst", Obs.Trace2.I (match p.p_dst with Some d -> d | None -> -1));
+            ("retries", Obs.Trace2.I Const.retry_limit);
+          ];
         t.current <- None;
         t.generation <- t.generation + 1;
         (match (t.dropped, p.p_dst) with
@@ -179,11 +185,14 @@ and handle_ack_timeout t =
         start_contention t
       end
       else begin
-        Trace.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac" ~label:"retry"
-          (Printf.sprintf "attempt %d cw %d" (p.retries + 1) p.cw);
+        Obs.Metrics.incr "mac.retries";
+        Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac"
+          ~label:"retry"
+          [ ("attempt", Obs.Trace2.I (p.retries + 1)); ("cw", Obs.Trace2.I p.cw) ];
         p.cw <- min ((2 * (p.cw + 1)) - 1) Const.cw_max;
         t.generation <- t.generation + 1;
         t.remaining_slots <- Util.Rng.int t.rng (p.cw + 1);
+        Obs.Metrics.incr "mac.backoff_slots" ~by:t.remaining_slots;
         wait_for_idle t
       end
 
@@ -205,7 +214,8 @@ let send_ack t ~dst ~seq =
   let encoded = encode_frame frame in
   ignore
     (Engine.schedule t.engine ~delay:Const.sifs (fun () ->
-         Radio.transmit t.radio ~sender:t.node_id ~duration:ack_airtime encoded))
+         Obs.Metrics.incr "mac.tx" ~labels:[ ("class", "ack") ];
+         Radio.transmit t.radio ~kind:"ack" ~sender:t.node_id ~duration:ack_airtime encoded))
 
 let handle_radio_receive t ~sender:_ raw =
   match decode_frame raw with

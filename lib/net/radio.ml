@@ -80,7 +80,7 @@ let notify_idle_if_clear t =
 let overlaps_jam t start finish =
   List.exists (fun (a, b) -> start < b && finish > a) t.jam_windows
 
-let transmit t ~sender ~duration frame =
+let transmit t ?(kind = "data") ~sender ~duration frame =
   if sender < 0 || sender >= t.n then invalid_arg "Radio.transmit: bad sender";
   if duration <= 0.0 then invalid_arg "Radio.transmit: bad duration";
   if t.down.(sender) then ()
@@ -92,11 +92,15 @@ let transmit t ~sender ~duration frame =
     t.ongoing <- List.filter (fun o -> o.tx_finish > now) t.ongoing;
     List.iter
       (fun o ->
-        if not o.corrupted then t.stats.collisions <- t.stats.collisions + 1;
+        if not o.corrupted then begin
+          t.stats.collisions <- t.stats.collisions + 1;
+          Obs.Metrics.incr "radio.collisions"
+        end;
         o.corrupted <- true;
         if not tx.corrupted then begin
           tx.corrupted <- true;
-          t.stats.collisions <- t.stats.collisions + 1
+          t.stats.collisions <- t.stats.collisions + 1;
+          Obs.Metrics.incr "radio.collisions"
         end)
       t.ongoing;
     t.ongoing <- tx :: t.ongoing;
@@ -104,17 +108,27 @@ let transmit t ~sender ~duration frame =
     t.stats.frames_sent <- t.stats.frames_sent + 1;
     t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length frame;
     t.stats.airtime <- t.stats.airtime +. duration;
-    Trace.emit ~time:now ~node:sender ~layer:"radio" ~label:"tx"
-      (Printf.sprintf "%dB %.0fus%s" (Bytes.length frame) (duration *. 1e6)
-         (if tx.corrupted then " COLLISION" else ""));
+    let class_labels = [ ("class", kind) ] in
+    Obs.Metrics.incr "radio.tx" ~labels:class_labels;
+    Obs.Metrics.incr "radio.bytes" ~by:(Bytes.length frame) ~labels:class_labels;
+    Obs.Metrics.add "radio.airtime_s" ~labels:class_labels duration;
+    Obs.Metrics.observe "radio.frame_us" ~lo:0.0 ~hi:4000.0 ~bins:20 (duration *. 1e6);
+    Obs.Trace2.emit ~time:now ~node:sender ~layer:"radio" ~label:"tx"
+      [
+        ("class", Obs.Trace2.S kind);
+        ("bytes", Obs.Trace2.I (Bytes.length frame));
+        ("us", Obs.Trace2.F (duration *. 1e6));
+        ("collision", Obs.Trace2.B tx.corrupted);
+      ];
     ignore
       (Engine.at t.engine ~time:finish (fun () ->
            t.ongoing <- List.filter (fun o -> o.tx_finish > Engine.now t.engine) t.ongoing;
            let jammed = overlaps_jam t tx.tx_start tx.tx_finish in
            if jammed then begin
              t.stats.jammed <- t.stats.jammed + 1;
-             Trace.emit ~time:(Engine.now t.engine) ~node:sender ~layer:"radio"
-               ~label:"jammed" ""
+             Obs.Metrics.incr "radio.jammed";
+             Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:sender ~layer:"radio"
+               ~label:"jammed" []
            end;
            if (not tx.corrupted) && not jammed then begin
              match t.receive with
@@ -122,10 +136,18 @@ let transmit t ~sender ~duration frame =
              | Some deliver ->
                  for receiver = 0 to t.n - 1 do
                    if receiver <> sender && not t.down.(receiver) then begin
-                     if Util.Rng.bernoulli t.rng t.loss_prob then
-                       t.stats.losses <- t.stats.losses + 1
+                     if Util.Rng.bernoulli t.rng t.loss_prob then begin
+                       t.stats.losses <- t.stats.losses + 1;
+                       Obs.Metrics.incr "radio.omissions";
+                       Obs.Metrics.incr "radio.omission_by_rx"
+                         ~labels:[ ("rx", "p" ^ string_of_int receiver) ];
+                       Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:sender
+                         ~layer:"radio" ~label:"omission"
+                         [ ("rx", Obs.Trace2.I receiver) ]
+                     end
                      else begin
                        t.stats.frames_delivered <- t.stats.frames_delivered + 1;
+                       Obs.Metrics.incr "radio.delivered";
                        deliver receiver ~sender frame
                      end
                    end

@@ -41,10 +41,12 @@ val on_receive : t -> (int -> sender:int -> bytes -> unit) -> unit
 (** Registers the single delivery callback: [f receiver ~sender frame]
     runs at the end of a successful reception. Set once by the MAC. *)
 
-val transmit : t -> sender:int -> duration:float -> bytes -> unit
+val transmit : t -> ?kind:string -> sender:int -> duration:float -> bytes -> unit
 (** Starts a transmission occupying the medium for [duration] seconds;
     delivery (or corruption) resolves at its end. The sender does not
-    receive its own frame. *)
+    receive its own frame. [kind] labels the frame class ("bcast",
+    "ucast", "ack"; default "data") in the [radio.*] metrics and the
+    structured trace. *)
 
 val busy : t -> bool
 (** Carrier sense at the current instant. *)

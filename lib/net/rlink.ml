@@ -128,7 +128,14 @@ let charge_segment_cost t bytes_len =
 let transmit_segment t s ~seq payload ~fresh =
   let raw = encode_segment t ~kind:Seg_data ~seq payload in
   charge_segment_cost t (Bytes.length raw);
-  if not fresh then t.retransmissions <- t.retransmissions + 1;
+  Obs.Metrics.incr "rlink.tx_segments";
+  if not fresh then begin
+    t.retransmissions <- t.retransmissions + 1;
+    Obs.Metrics.incr "rlink.retransmits";
+    Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:(Mac.id (Datagram.mac t.dg))
+      ~layer:"rlink" ~label:"retransmit"
+      [ ("dst", Obs.Trace2.I s.s_dst); ("seq", Obs.Trace2.I seq) ]
+  end;
   Datagram.send t.dg ~dst:(`Node s.s_dst) ~port:t.port raw
 
 let rec arm_timer t s =
@@ -147,6 +154,7 @@ and on_rto t s =
   match Hashtbl.find_opt s.unacked s.base with
   | None -> arm_timer t s
   | Some u ->
+      Obs.Metrics.incr "rlink.rto";
       Hashtbl.replace s.unacked s.base
         { u with u_transmissions = u.u_transmissions + 1; u_sent_at = Engine.now t.engine };
       transmit_segment t s ~seq:s.base u.u_payload ~fresh:false;
@@ -267,6 +275,7 @@ let schedule_ack t r ~dst ~in_order =
   end
 
 let handle_data t ~src seq payload =
+  Obs.Metrics.incr "rlink.rx_segments";
   let r = receiver_state t src in
   let deliver_segment payload =
     match t.deliver with

@@ -1,53 +1,48 @@
+(* Compatibility wrapper: the v1 string-detail API, backed by the
+   structured Obs.Trace2 sink. Emitters across the stack now write
+   typed fields via Trace2 directly; this module keeps the old
+   interface (and the `run --trace` renderer) working on top of it. *)
+
 type event = { time : float; node : int; layer : string; label : string; detail : string }
 
-type state = {
-  mutable active : bool;
-  mutable limit : int;
-  mutable count : int;
-  mutable dropped : int;
-  mutable entries : event list; (* newest first *)
-}
-
-let state = { active = false; limit = 0; count = 0; dropped = 0; entries = [] }
-
-let clear () =
-  state.count <- 0;
-  state.dropped <- 0;
-  state.entries <- []
-
-let start ?(limit = 100_000) () =
-  clear ();
-  state.limit <- limit;
-  state.active <- true
-
-let stop () = state.active <- false
-let enabled () = state.active
+let start ?limit () = Obs.Trace2.start ?limit ()
+let stop () = Obs.Trace2.stop ()
+let enabled () = Obs.Trace2.enabled ()
+let clear () = Obs.Trace2.clear ()
+let dropped () = Obs.Trace2.dropped ()
 
 let emit ~time ~node ~layer ~label detail =
-  if state.active then begin
-    if state.count < state.limit then begin
-      state.entries <- { time; node; layer; label; detail } :: state.entries;
-      state.count <- state.count + 1
-    end
-    else state.dropped <- state.dropped + 1
-  end
+  Obs.Trace2.emit ~time ~node ~layer ~label
+    (if detail = "" then [] else [ ("detail", Obs.Trace2.S detail) ])
 
-let events () = List.rev state.entries
-let dropped () = state.dropped
+let of_v2 (e : Obs.Trace2.event) =
+  {
+    time = e.time;
+    node = e.node;
+    layer = e.layer;
+    label = e.label;
+    detail = Obs.Trace2.fields_to_string e.fields;
+  }
+
+let events () = List.map of_v2 (Obs.Trace2.events ())
 
 let render ?(filter = fun _ -> true) ?(max_events = max_int) () =
+  let matched = List.filter filter (events ()) in
+  let total = List.length matched in
   let buf = Buffer.create 4096 in
   let shown = ref 0 in
   List.iter
     (fun e ->
-      if !shown < max_events && filter e then begin
+      if !shown < max_events then begin
         incr shown;
         Buffer.add_string buf
           (Printf.sprintf "%10.6f  %-4s %-8s %-12s %s\n" e.time
              (if e.node >= 0 then Printf.sprintf "p%d" e.node else "-")
              e.layer e.label e.detail)
       end)
-    (events ());
-  if state.dropped > 0 then
-    Buffer.add_string buf (Printf.sprintf "... %d further events dropped\n" state.dropped);
+    matched;
+  let more = total - !shown in
+  let sink_dropped = dropped () in
+  if more > 0 || sink_dropped > 0 then
+    Buffer.add_string buf (Printf.sprintf "(+%d more, %d dropped)\n" more sink_dropped);
   Buffer.contents buf

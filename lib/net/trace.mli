@@ -1,10 +1,12 @@
-(** Lightweight event tracing for simulation debugging.
+(** Lightweight event tracing for simulation debugging (v1 view).
 
-    A process-global, off-by-default sink: layers call {!emit}, which is
-    a no-op unless tracing was started. The simulator is single-threaded
-    and deterministic, so a trace of a failing run (same seed) is a
-    complete, replayable explanation. Used by `turquois-lab run
-    --trace`. *)
+    Since the observability PR this is a thin compatibility wrapper
+    over the structured {!Obs.Trace2} sink: {!emit} stores its detail
+    string as a single field, and {!events} renders Trace2's typed
+    fields back into detail strings. Layers that carry structured data
+    (radio, protocols) emit via [Obs.Trace2] directly; both views read
+    the same buffer, so [start]/[stop]/[clear] here control the whole
+    sink. Used by `turquois-lab run --trace`. *)
 
 type event = {
   time : float;
@@ -31,4 +33,6 @@ val dropped : unit -> int
 val clear : unit -> unit
 
 val render : ?filter:(event -> bool) -> ?max_events:int -> unit -> string
-(** One line per event: [time node layer label detail]. *)
+(** One line per event: [time node layer label detail]. Ends with a
+    ["(+N more, M dropped)"] trailer when [max_events] truncated the
+    listing (N) or the sink itself dropped events at its limit (M). *)

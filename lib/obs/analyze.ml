@@ -1,0 +1,339 @@
+(* Offline reconstruction of a run from its JSONL trace: medium
+   breakdown, per-phase timeline, and the stall report that checks each
+   inter-phase window against the paper's sigma progress bound. *)
+
+let sigma ~n ~k ~t = (((n - t + 1) / 2) * (n - k - t)) + k - 2
+
+let field_int fields key =
+  match List.assoc_opt key fields with
+  | Some (Trace2.I i) -> Some i
+  | Some (Trace2.F f) -> Some (int_of_float f)
+  | _ -> None
+
+let field_float fields key =
+  match List.assoc_opt key fields with
+  | Some (Trace2.F f) -> Some f
+  | Some (Trace2.I i) -> Some (float_of_int i)
+  | _ -> None
+
+let field_str fields key =
+  match List.assoc_opt key fields with Some (Trace2.S s) -> Some s | _ -> None
+
+type meta = {
+  m_protocol : string;
+  m_load : string;
+  m_dist : string;
+  m_seed : string;
+  m_n : int option;
+  m_k : int option;
+  m_t : int option;
+  m_tick : float; (* seconds per communication round *)
+  m_crashed : string;
+}
+
+let default_meta =
+  {
+    m_protocol = "?";
+    m_load = "?";
+    m_dist = "?";
+    m_seed = "?";
+    m_n = None;
+    m_k = None;
+    m_t = None;
+    m_tick = 10.0e-3;
+    m_crashed = "";
+  }
+
+let read_meta events =
+  match List.find_opt (fun e -> e.Trace2.layer = "run" && e.Trace2.label = "meta") events with
+  | None -> default_meta
+  | Some e ->
+      let f = e.Trace2.fields in
+      {
+        m_protocol = Option.value ~default:"?" (field_str f "protocol");
+        m_load = Option.value ~default:"?" (field_str f "load");
+        m_dist = Option.value ~default:"?" (field_str f "dist");
+        m_seed = Option.value ~default:"?" (field_str f "seed");
+        m_n = field_int f "n";
+        m_k = field_int f "k";
+        m_t = field_int f "t";
+        m_tick = Option.value ~default:10.0e-3 (field_float f "tick_s");
+        m_crashed = Option.value ~default:"" (field_str f "crashed");
+      }
+
+(* --- medium breakdown ---------------------------------------------------- *)
+
+type class_acc = {
+  mutable frames : int;
+  mutable airtime : float;
+  mutable bytes : int;
+  mutable collided : int;
+}
+
+let medium_breakdown events =
+  let classes : (string, class_acc) Hashtbl.t = Hashtbl.create 4 in
+  let acc cls =
+    match Hashtbl.find_opt classes cls with
+    | Some a -> a
+    | None ->
+        let a = { frames = 0; airtime = 0.0; bytes = 0; collided = 0 } in
+        Hashtbl.add classes cls a;
+        a
+  in
+  let jammed = ref 0 in
+  let omissions : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let omission_total = ref 0 in
+  List.iter
+    (fun e ->
+      if e.Trace2.layer = "radio" then
+        match e.Trace2.label with
+        | "tx" ->
+            let cls = Option.value ~default:"?" (field_str e.fields "class") in
+            let a = acc cls in
+            a.frames <- a.frames + 1;
+            a.airtime <- a.airtime +. (Option.value ~default:0.0 (field_float e.fields "us") /. 1.0e6);
+            a.bytes <- a.bytes + Option.value ~default:0 (field_int e.fields "bytes");
+            (match List.assoc_opt "collision" e.fields with
+            | Some (Trace2.B true) -> a.collided <- a.collided + 1
+            | _ -> ())
+        | "jammed" -> incr jammed
+        | "omission" ->
+            incr omission_total;
+            let rx = Option.value ~default:(-1) (field_int e.fields "rx") in
+            Hashtbl.replace omissions rx (1 + Option.value ~default:0 (Hashtbl.find_opt omissions rx))
+        | _ -> ())
+    events;
+  let rows =
+    Hashtbl.fold (fun cls a l -> (cls, a) :: l) classes []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let total_air = List.fold_left (fun s (_, a) -> s +. a.airtime) 0.0 rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Medium breakdown (from radio-layer trace events)\n";
+  if rows = [] then Buffer.add_string buf "  no radio tx events in trace\n"
+  else begin
+    let table_rows =
+      List.map
+        (fun (cls, a) ->
+          [
+            cls;
+            string_of_int a.frames;
+            Printf.sprintf "%.2f" (a.airtime *. 1000.0);
+            Printf.sprintf "%.0f%%" (if total_air > 0.0 then 100.0 *. a.airtime /. total_air else 0.0);
+            Printf.sprintf "%.1f" (float_of_int a.bytes /. 1024.0);
+            string_of_int a.collided;
+          ])
+        rows
+    in
+    Buffer.add_string buf
+      (Util.Tablefmt.render
+         ~header:[ "frame class"; "frames"; "airtime ms"; "share"; "kB"; "collided" ]
+         ~rows:table_rows ())
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "  jammed frames: %d;  per-receiver omission drops: %d total\n" !jammed
+       !omission_total);
+  let by_rx =
+    Hashtbl.fold (fun rx c l -> (rx, c) :: l) omissions [] |> List.sort compare
+  in
+  if by_rx <> [] then
+    Buffer.add_string buf
+      ("  omissions by receiver: "
+      ^ String.concat " "
+          (List.map (fun (rx, c) -> Printf.sprintf "p%d:%d" rx c) by_rx)
+      ^ "\n");
+  (Buffer.contents buf, !omission_total)
+
+(* --- per-phase timeline --------------------------------------------------- *)
+
+(* (phase/round number, node) -> first entry time, from the protocol
+   layers' "phase" / "round" transition events. *)
+let phase_entries events =
+  let entries : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let decides : (int, float * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.Trace2.label with
+      | "phase" | "round" -> (
+          let num =
+            match field_int e.fields "phase" with
+            | Some p -> Some p
+            | None -> field_int e.fields "round"
+          in
+          match num with
+          | Some p ->
+              let key = (p, e.node) in
+              if not (Hashtbl.mem entries key) then Hashtbl.replace entries key e.time
+          | None -> ())
+      | "decide" ->
+          if not (Hashtbl.mem decides e.node) then
+            Hashtbl.replace decides e.node
+              (e.time, Option.value ~default:0 (field_int e.fields "value"))
+      | _ -> ())
+    events;
+  (entries, decides)
+
+let timeline ~n entries decides =
+  let phases =
+    Hashtbl.fold (fun (p, _) _ acc -> if List.mem p acc then acc else p :: acc) entries []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Per-phase timeline (ms at which each node first entered the phase)\n";
+  if phases = [] then Buffer.add_string buf "  no phase/round transition events in trace\n"
+  else begin
+    let nodes = List.init n (fun i -> i) in
+    let header = "phase" :: List.map (fun i -> Printf.sprintf "p%d" i) nodes in
+    let rows =
+      List.map
+        (fun p ->
+          string_of_int p
+          :: List.map
+               (fun i ->
+                 match Hashtbl.find_opt entries (p, i) with
+                 | Some t -> Printf.sprintf "%.1f" (t *. 1000.0)
+                 | None -> "-")
+               nodes)
+        phases
+    in
+    let decide_row =
+      "decide"
+      :: List.map
+           (fun i ->
+             match Hashtbl.find_opt decides i with
+             | Some (t, v) -> Printf.sprintf "%.1f=%d" (t *. 1000.0) v
+             | None -> "-")
+           nodes
+    in
+    Buffer.add_string buf (Util.Tablefmt.render ~header ~rows:(rows @ [ decide_row ]) ())
+  end;
+  Buffer.contents buf
+
+(* --- stall report --------------------------------------------------------- *)
+
+let omissions_in events ~from ~until =
+  List.fold_left
+    (fun acc e ->
+      if
+        e.Trace2.layer = "radio" && e.Trace2.label = "omission" && e.Trace2.time >= from
+        && e.Trace2.time < until
+      then acc + 1
+      else acc)
+    0 events
+
+let stall_report ~n ~k ~t ~tick events entries =
+  let bound = sigma ~n ~k ~t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Stall report: sigma = ceil((n-t)/2)*(n-k-t) + k - 2 = %d omissions/round (n=%d k=%d \
+        t=%d); one round = one %.0f ms tick\n"
+       bound n k t (tick *. 1000.0));
+  (* global entry time of each phase: the first node to reach it *)
+  let phase_start : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (p, _) time ->
+      match Hashtbl.find_opt phase_start p with
+      | Some t0 when t0 <= time -> ()
+      | _ -> Hashtbl.replace phase_start p time)
+    entries;
+  let phases =
+    Hashtbl.fold (fun p t0 acc -> (p, t0) :: acc) phase_start [] |> List.sort compare
+  in
+  if List.length phases < 2 then begin
+    Buffer.add_string buf
+      "  fewer than two phase transitions in trace: no inter-phase windows to check\n";
+    Buffer.contents buf
+  end
+  else begin
+    let rec windows = function
+      | (p, t0) :: ((_, t1) :: _ as rest) -> (p, t0, t1) :: windows rest
+      | [ _ ] | [] -> []
+    in
+    let ws = windows phases in
+    let durations = List.map (fun (_, t0, t1) -> t1 -. t0) ws in
+    let median = Util.Stats.percentile durations 0.5 in
+    let stalled = ref [] in
+    let rows =
+      List.map
+        (fun (p, t0, t1) ->
+          let dur = t1 -. t0 in
+          let rounds = max 1 (int_of_float (Float.round (dur /. tick))) in
+          let om = omissions_in events ~from:t0 ~until:t1 in
+          let per_round = float_of_int om /. float_of_int rounds in
+          let exceeds = per_round > float_of_int bound in
+          let stall = dur > 3.0 *. median && dur > 2.0 *. tick in
+          if exceeds || stall then stalled := (p, dur, om, per_round, exceeds) :: !stalled;
+          [
+            string_of_int p;
+            Printf.sprintf "%.1f" (t0 *. 1000.0);
+            Printf.sprintf "%.1f" (dur *. 1000.0);
+            string_of_int rounds;
+            string_of_int om;
+            Printf.sprintf "%.1f" per_round;
+            (if exceeds then "EXCEEDS sigma" else if stall then "STALL" else "ok");
+          ])
+        ws
+    in
+    Buffer.add_string buf
+      (Util.Tablefmt.render
+         ~header:[ "phase"; "start ms"; "window ms"; "rounds"; "omissions"; "om/round"; "verdict" ]
+         ~rows ());
+    (match List.rev !stalled with
+    | [] ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  no stalled rounds: the per-round omission load stayed under sigma = %d in \
+              every window\n"
+             bound)
+    | stalls ->
+        List.iter
+          (fun (p, dur, om, per_round, exceeds) ->
+            Buffer.add_string buf
+              (if exceeds then
+                 Printf.sprintf
+                   "  phase %d stalled for %.1f ms: %d omissions (%.1f/round) exceed sigma = \
+                    %d — the Section 5 bound says progress can halt under this load\n"
+                   p (dur *. 1000.0) om per_round bound
+               else
+                 Printf.sprintf
+                   "  phase %d stalled for %.1f ms (>3x the %.1f ms median window) with %d \
+                    omissions (%.1f/round, sigma = %d): slow but within the liveness bound\n"
+                   p (dur *. 1000.0) (median *. 1000.0) om per_round bound))
+          stalls);
+    Buffer.contents buf
+  end
+
+(* --- entry point ---------------------------------------------------------- *)
+
+let analyze ?n ?k ?t events =
+  let meta = read_meta events in
+  let observed_n =
+    1 + List.fold_left (fun acc e -> max acc e.Trace2.node) (-1) events
+  in
+  let n = match (n, meta.m_n) with Some v, _ -> v | None, Some v -> v | None, None -> max 1 observed_n in
+  let f_default = (n - 1) / 3 in
+  let k = match (k, meta.m_k) with Some v, _ -> v | None, Some v -> v | None, None -> n - f_default in
+  let t = match (t, meta.m_t) with Some v, _ -> v | None, Some v -> v | None, None -> 0 in
+  let buf = Buffer.create 4096 in
+  let times = List.map (fun e -> e.Trace2.time) events in
+  let span =
+    match times with
+    | [] -> 0.0
+    | t0 :: _ -> List.fold_left Float.max t0 times -. List.fold_left Float.min t0 times
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "Trace analysis: %s n=%d %s %s (seed %s)\n" meta.m_protocol n meta.m_dist
+       meta.m_load meta.m_seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  %d events spanning %.1f ms; k=%d t=%d%s\n\n" (List.length events)
+       (span *. 1000.0) k t
+       (if meta.m_crashed = "" then "" else "; crashed: " ^ meta.m_crashed));
+  let medium, _omissions = medium_breakdown events in
+  Buffer.add_string buf medium;
+  Buffer.add_char buf '\n';
+  let entries, decides = phase_entries events in
+  Buffer.add_string buf (timeline ~n entries decides);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (stall_report ~n ~k ~t ~tick:meta.m_tick events entries);
+  Buffer.contents buf

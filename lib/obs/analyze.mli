@@ -1,0 +1,21 @@
+(** Offline analysis of a JSONL run trace ([turquois-lab analyze]).
+
+    Reconstructs three views from the structured events of one run:
+
+    - a medium breakdown: frames, airtime, bytes and collisions per
+      frame class, plus jamming and per-receiver omission drops;
+    - a per-phase timeline: when each node first entered each
+      phase/round, and when it decided;
+    - a stall report: each inter-phase window is checked against the
+      paper's Section 5 progress bound
+      [sigma = ceil((n-t)/2)*(n-k-t) + k - 2] (omissions per
+      communication round, one round = one tick), flagging windows
+      whose per-round omission load exceeds sigma and windows that
+      stalled well past the median.
+
+    Run parameters are read from the trace's [run/meta] event when
+    present; [?n]/[?k]/[?t] override them. *)
+
+val sigma : n:int -> k:int -> t:int -> int
+
+val analyze : ?n:int -> ?k:int -> ?t:int -> Trace2.event list -> string

@@ -1,0 +1,248 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal that round-trips, always with a '.' or exponent so a
+   re-parse yields a Float again (JSON has one number type; we keep the
+   int/float distinction by syntax). *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+  end
+
+let rec print_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          print_to buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf key;
+          Buffer.add_char buf ':';
+          print_to buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_to buf v;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Fail of string
+
+type cursor = { s : string; mutable pos : int }
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+let at_end c = c.pos >= String.length c.s
+let peek c = c.s.[c.pos]
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while (not (at_end c)) && (match peek c with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    advance c
+  done
+
+let expect c ch =
+  if at_end c || peek c <> ch then failf "expected %C at offset %d" ch c.pos;
+  advance c
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else failf "bad literal at offset %d" c.pos
+
+(* Encode a Unicode scalar as UTF-8 bytes. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end c then failf "unterminated string";
+    match peek c with
+    | '"' -> advance c
+    | '\\' ->
+        advance c;
+        if at_end c then failf "unterminated escape";
+        let ch = peek c in
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if c.pos + 4 > String.length c.s then failf "truncated \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> failf "bad \\u escape %S" hex
+            in
+            add_utf8 buf code
+        | ch -> failf "bad escape \\%c" ch);
+        go ()
+    | ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (not (at_end c)) && is_num_char (peek c) do
+    advance c
+  done;
+  let text = String.sub c.s start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') text then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> failf "bad number %S" text
+  else begin
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> failf "bad number %S" text)
+  end
+
+let rec parse_value c =
+  skip_ws c;
+  if at_end c then failf "unexpected end of input";
+  match peek c with
+  | '{' ->
+      advance c;
+      skip_ws c;
+      if (not (at_end c)) && peek c = '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let value = parse_value c in
+          skip_ws c;
+          if at_end c then failf "unterminated object";
+          match peek c with
+          | ',' ->
+              advance c;
+              members ((key, value) :: acc)
+          | '}' ->
+              advance c;
+              List.rev ((key, value) :: acc)
+          | ch -> failf "unexpected %C in object" ch
+        in
+        Obj (members [])
+      end
+  | '[' ->
+      advance c;
+      skip_ws c;
+      if (not (at_end c)) && peek c = ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value c in
+          skip_ws c;
+          if at_end c then failf "unterminated array";
+          match peek c with
+          | ',' ->
+              advance c;
+              items (value :: acc)
+          | ']' ->
+              advance c;
+              List.rev (value :: acc)
+          | ch -> failf "unexpected %C in array" ch
+        in
+        List (items [])
+      end
+  | '"' -> String (parse_string c)
+  | 't' -> literal c "true" (Bool true)
+  | 'f' -> literal c "false" (Bool false)
+  | 'n' -> literal c "null" Null
+  | _ -> parse_number c
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if at_end c then Ok v else Error (Printf.sprintf "trailing input at offset %d" c.pos)
+  | exception Fail msg -> Error msg
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_int = function Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

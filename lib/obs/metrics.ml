@@ -1,0 +1,153 @@
+type labels = (string * string) list
+
+type hist_state = {
+  hist : Util.Stats.Histogram.t;
+  h_lo : float;
+  h_hi : float;
+  mutable h_sum : float;
+}
+
+type cell =
+  | Cell_counter of int ref
+  | Cell_gauge of float ref
+  | Cell_hist of hist_state
+
+(* One process-global registry, like the trace sink: the simulator is
+   single-threaded and runs are scoped with {!reset} / [Scope.with_run].
+   Keys carry labels in sorted order so call-site order is irrelevant. *)
+let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 128
+
+let norm_labels labels = List.sort compare labels
+
+let kind_name = function
+  | Cell_counter _ -> "counter"
+  | Cell_gauge _ -> "gauge"
+  | Cell_hist _ -> "histogram"
+
+let lookup name labels make =
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt registry key with
+  | Some cell -> cell
+  | None ->
+      let cell = make () in
+      Hashtbl.add registry key cell;
+      cell
+
+let type_clash name cell want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name cell) want)
+
+let incr ?(by = 1) ?(labels = []) name =
+  match lookup name labels (fun () -> Cell_counter (ref 0)) with
+  | Cell_counter r -> r := !r + by
+  | cell -> type_clash name cell "counter"
+
+let set ?(labels = []) name v =
+  match lookup name labels (fun () -> Cell_gauge (ref 0.0)) with
+  | Cell_gauge r -> r := v
+  | cell -> type_clash name cell "gauge"
+
+let add ?(labels = []) name v =
+  match lookup name labels (fun () -> Cell_gauge (ref 0.0)) with
+  | Cell_gauge r -> r := !r +. v
+  | cell -> type_clash name cell "gauge"
+
+let observe ?(labels = []) ~lo ~hi ~bins name v =
+  match
+    lookup name labels (fun () ->
+        Cell_hist { hist = Util.Stats.Histogram.create ~lo ~hi ~bins; h_lo = lo; h_hi = hi; h_sum = 0.0 })
+  with
+  | Cell_hist h ->
+      Util.Stats.Histogram.add h.hist v;
+      h.h_sum <- h.h_sum +. v
+  | cell -> type_clash name cell "histogram"
+
+let reset () = Hashtbl.reset registry
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type hist_snapshot = { lo : float; hi : float; counts : int array; total : int; sum : float }
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+type sample = { name : string; labels : labels; value : value }
+type snapshot = sample list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (name, labels) cell acc ->
+      let value =
+        match cell with
+        | Cell_counter r -> Counter !r
+        | Cell_gauge r -> Gauge !r
+        | Cell_hist h ->
+            Histogram
+              {
+                lo = h.h_lo;
+                hi = h.h_hi;
+                counts = Util.Stats.Histogram.counts h.hist;
+                total = Util.Stats.Histogram.total h.hist;
+                sum = h.h_sum;
+              }
+      in
+      { name; labels; value } :: acc)
+    registry []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let find snap ?(labels = []) name =
+  let labels = norm_labels labels in
+  List.find_opt (fun s -> s.name = name && s.labels = labels) snap
+
+let counter_value snap ?labels name =
+  match find snap ?labels name with Some { value = Counter c; _ } -> c | Some _ | None -> 0
+
+let sum_counters snap name =
+  List.fold_left
+    (fun acc s ->
+      match s.value with Counter c when s.name = name -> acc + c | _ -> acc)
+    0 snap
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let labels_to_string labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let value_to_string = function
+  | Counter c -> string_of_int c
+  | Gauge g -> Printf.sprintf "%.6g" g
+  | Histogram h ->
+      Printf.sprintf "n=%d mean=%.4g [%g, %g)" h.total
+        (if h.total = 0 then 0.0 else h.sum /. float_of_int h.total)
+        h.lo h.hi
+
+let render_table snap =
+  let header = [ "metric"; "labels"; "value" ] in
+  let rows =
+    List.map (fun s -> [ s.name; labels_to_string s.labels; value_to_string s.value ]) snap
+  in
+  Util.Tablefmt.render ~header ~rows ()
+
+let to_json snap =
+  Json.List
+    (List.map
+       (fun s ->
+         let base =
+           [
+             ("name", Json.String s.name);
+             ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.labels));
+           ]
+         in
+         let rest =
+           match s.value with
+           | Counter c -> [ ("type", Json.String "counter"); ("value", Json.Int c) ]
+           | Gauge g -> [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+           | Histogram h ->
+               [
+                 ("type", Json.String "histogram");
+                 ("lo", Json.Float h.lo);
+                 ("hi", Json.Float h.hi);
+                 ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+                 ("total", Json.Int h.total);
+                 ("sum", Json.Float h.sum);
+               ]
+         in
+         Json.Obj (base @ rest))
+       snap)

@@ -1,0 +1,5 @@
+let with_run f =
+  Metrics.reset ();
+  Trace2.clear ();
+  let result = f () in
+  (result, Metrics.snapshot ())

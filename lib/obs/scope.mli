@@ -1,0 +1,10 @@
+(** Per-run scoping of the global observability sinks.
+
+    [with_run f] resets the metrics registry and clears the trace
+    buffer (the enabled/limit state is untouched), runs [f], and
+    returns its result together with the metrics snapshot of exactly
+    that run. This is the discipline that keeps repetitions
+    independent: without it, a 50-rep [--trace] session would mix
+    events and counters from every earlier repetition. *)
+
+val with_run : (unit -> 'a) -> 'a * Metrics.snapshot

@@ -1,0 +1,59 @@
+(** Structured event tracing (Trace v2) with JSONL export.
+
+    The successor of the string-based [Net.Trace] sink (which is now a
+    thin compatibility wrapper over this module): every event carries
+    typed key/value fields instead of a pre-rendered detail string, so
+    traces can be exported as JSONL and re-analysed offline
+    ([turquois-lab analyze]). Same sink discipline as v1: one
+    process-global buffer, off by default, bounded by [limit], cleared
+    per run by the harness. *)
+
+type field = S of string | I of int | F of float | B of bool
+
+type event = {
+  time : float;
+  node : int;  (** -1 when not attributable to one node *)
+  layer : string;  (** "radio", "mac", "rlink", "turquois", "run", ... *)
+  label : string;  (** short event class, e.g. "tx", "omission", "phase" *)
+  fields : (string * field) list;
+}
+
+val start : ?limit:int -> unit -> unit
+(** Enables collection; at most [limit] events are kept (default
+    100_000; afterwards new events are counted but dropped). *)
+
+val stop : unit -> unit
+val enabled : unit -> bool
+val clear : unit -> unit
+
+val emit :
+  time:float -> node:int -> layer:string -> label:string -> (string * field) list -> unit
+
+val events : unit -> event list
+(** Collected events in emission (= time) order. *)
+
+val dropped : unit -> int
+
+val field_to_string : field -> string
+val fields_to_string : (string * field) list -> string
+(** ["k=v k2=v2"]; a field named ["detail"] prints its bare value (v1
+    compatibility). *)
+
+(** {2 JSONL}
+
+    One event per line:
+    [{"t":0.012,"node":3,"layer":"radio","label":"tx","f":{"class":"bcast","bytes":93,...}}] *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+val to_jsonl_line : event -> string
+val parse_line : string -> (event, string) result
+
+val export_channel : out_channel -> int
+(** Writes the collected events as JSONL; returns the event count. *)
+
+val export_file : string -> int
+
+val load_file : string -> (event list * int, string) result
+(** Events plus the count of unparseable lines (tolerated and
+    skipped). *)

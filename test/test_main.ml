@@ -9,6 +9,7 @@ let () =
       Test_znum.suite;
       Test_crypto.suite;
       Test_engine.suite;
+      Test_obs.suite;
       Test_net.suite;
       Test_core_units.suite;
       Test_validation.suite;

@@ -1,0 +1,271 @@
+(* Tests for the observability subsystem: the labeled metrics registry,
+   the structured Trace2 sink with JSONL round-trips, per-run scoping,
+   the offline analyzer, and snapshot determinism across seeded runs. *)
+
+(* every test owns the process-global sinks *)
+let fresh () =
+  Obs.Metrics.reset ();
+  Obs.Trace2.stop ();
+  Obs.Trace2.clear ()
+
+(* --- metrics registry ------------------------------------------------------- *)
+
+let test_counter_basics () =
+  fresh ();
+  Obs.Metrics.incr "a";
+  Obs.Metrics.incr "a" ~by:4;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "accumulated" 5 (Obs.Metrics.counter_value snap "a");
+  Alcotest.(check int) "absent is 0" 0 (Obs.Metrics.counter_value snap "nope")
+
+let test_label_order_irrelevant () =
+  fresh ();
+  Obs.Metrics.incr "m" ~labels:[ ("x", "1"); ("y", "2") ];
+  Obs.Metrics.incr "m" ~labels:[ ("y", "2"); ("x", "1") ];
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "one series" 1 (List.length snap);
+  Alcotest.(check int) "both updates landed" 2
+    (Obs.Metrics.counter_value snap "m" ~labels:[ ("y", "2"); ("x", "1") ])
+
+let test_distinct_labels_distinct_series () =
+  fresh ();
+  Obs.Metrics.incr "tx" ~labels:[ ("class", "bcast") ];
+  Obs.Metrics.incr "tx" ~labels:[ ("class", "ack") ] ~by:2;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "two series" 2 (List.length snap);
+  Alcotest.(check int) "bcast" 1
+    (Obs.Metrics.counter_value snap "tx" ~labels:[ ("class", "bcast") ]);
+  Alcotest.(check int) "sum across labels" 3 (Obs.Metrics.sum_counters snap "tx")
+
+let test_type_clash_rejected () =
+  fresh ();
+  Obs.Metrics.incr "series";
+  Alcotest.check_raises "gauge on counter"
+    (Invalid_argument "Metrics: series is a counter, not a gauge") (fun () ->
+      Obs.Metrics.set "series" 1.0)
+
+let test_gauge_add () =
+  fresh ();
+  Obs.Metrics.add "airtime" 0.25;
+  Obs.Metrics.add "airtime" 0.5;
+  let snap = Obs.Metrics.snapshot () in
+  match Obs.Metrics.find snap "airtime" with
+  | Some { value = Obs.Metrics.Gauge g; _ } ->
+      Alcotest.(check (float 1e-9)) "accumulated" 0.75 g
+  | _ -> Alcotest.fail "expected a gauge"
+
+let test_histogram_binning () =
+  fresh ();
+  List.iter
+    (fun v -> Obs.Metrics.observe "h" ~lo:0.0 ~hi:10.0 ~bins:10 v)
+    [ 0.5; 1.5; 1.9; 9.9; -3.0; 42.0 ];
+  let snap = Obs.Metrics.snapshot () in
+  match Obs.Metrics.find snap "h" with
+  | Some { value = Obs.Metrics.Histogram h; _ } ->
+      Alcotest.(check int) "total counts all" 6 h.total;
+      Alcotest.(check int) "bin 0" 2 h.counts.(0);
+      (* -3.0 clamps into bin 0 *)
+      Alcotest.(check int) "bin 1" 2 h.counts.(1);
+      Alcotest.(check int) "last bin" 2 h.counts.(9)
+      (* 42.0 clamps into the last bin *)
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_snapshot_isolation () =
+  fresh ();
+  Obs.Metrics.incr "a";
+  let before = Obs.Metrics.snapshot () in
+  Obs.Metrics.incr "a" ~by:10;
+  Alcotest.(check int) "snapshot is immutable" 1 (Obs.Metrics.counter_value before "a");
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset drops everything" 0
+    (List.length (Obs.Metrics.snapshot ()));
+  Alcotest.(check int) "old snapshot survives reset" 1
+    (Obs.Metrics.counter_value before "a")
+
+let test_with_run_scoping () =
+  fresh ();
+  Obs.Metrics.incr "leak" ~by:99;
+  let result, snap =
+    Obs.Scope.with_run (fun () ->
+        Obs.Metrics.incr "inside";
+        "done")
+  in
+  Alcotest.(check string) "result passes through" "done" result;
+  Alcotest.(check int) "pre-run counter wiped" 0 (Obs.Metrics.counter_value snap "leak");
+  Alcotest.(check int) "in-run counter kept" 1 (Obs.Metrics.counter_value snap "inside")
+
+(* --- JSON codec ------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("i", Obs.Json.Int 42);
+        ("f", Obs.Json.Float 2.0);
+        ("s", Obs.Json.String "quote\" slash\\ tab\t");
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int (-1); Obs.Json.Float 0.125 ]);
+      ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check bool) "structurally equal" true (parsed = doc);
+      (* the int/float distinction survives the round-trip *)
+      Alcotest.(check bool) "2.0 stays a float" true
+        (Obs.Json.member "f" parsed = Some (Obs.Json.Float 2.0))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated" ]
+
+(* --- Trace2 + JSONL --------------------------------------------------------- *)
+
+let test_trace2_event_roundtrip () =
+  let e =
+    {
+      Obs.Trace2.time = 0.012;
+      node = 3;
+      layer = "radio";
+      label = "tx";
+      fields =
+        [
+          ("class", Obs.Trace2.S "bcast");
+          ("bytes", Obs.Trace2.I 93);
+          ("us", Obs.Trace2.F 676.4);
+          ("collision", Obs.Trace2.B false);
+        ];
+    }
+  in
+  match Obs.Trace2.parse_line (Obs.Trace2.to_jsonl_line e) with
+  | Error msg -> Alcotest.fail msg
+  | Ok back -> Alcotest.(check bool) "event round-trips" true (back = e)
+
+let test_trace2_limit_and_dropped () =
+  fresh ();
+  Obs.Trace2.start ~limit:3 ();
+  for i = 1 to 5 do
+    Obs.Trace2.emit ~time:(float_of_int i) ~node:0 ~layer:"l" ~label:"e"
+      [ ("i", Obs.Trace2.I i) ]
+  done;
+  Alcotest.(check int) "kept" 3 (List.length (Obs.Trace2.events ()));
+  Alcotest.(check int) "dropped" 2 (Obs.Trace2.dropped ());
+  Obs.Trace2.stop ();
+  Obs.Trace2.clear ()
+
+let test_trace2_file_roundtrip () =
+  fresh ();
+  Obs.Trace2.start ();
+  Obs.Trace2.emit ~time:0.5 ~node:(-1) ~layer:"run" ~label:"meta"
+    [ ("n", Obs.Trace2.I 8); ("load", Obs.Trace2.S "fail-stop") ];
+  Obs.Trace2.emit ~time:1.0 ~node:2 ~layer:"mac" ~label:"retry"
+    [ ("attempt", Obs.Trace2.I 2) ];
+  let file = Filename.temp_file "test_obs" ".jsonl" in
+  let written = Obs.Trace2.export_file file in
+  let original = Obs.Trace2.events () in
+  Obs.Trace2.stop ();
+  Obs.Trace2.clear ();
+  (match Obs.Trace2.load_file file with
+  | Error msg -> Alcotest.fail msg
+  | Ok (events, skipped) ->
+      Alcotest.(check int) "written count" 2 written;
+      Alcotest.(check int) "no skipped lines" 0 skipped;
+      Alcotest.(check bool) "events round-trip" true (events = original));
+  Sys.remove file
+
+let test_render_trailer () =
+  fresh ();
+  Net.Trace.start ~limit:4 ();
+  for i = 1 to 6 do
+    Net.Trace.emit ~time:(float_of_int i) ~node:i ~layer:"test" ~label:"ev" "x"
+  done;
+  let out = Net.Trace.render ~max_events:2 () in
+  Alcotest.(check bool) "trailer shows hidden and dropped" true
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> l = "(+2 more, 2 dropped)") lines);
+  Net.Trace.stop ();
+  Net.Trace.clear ()
+
+(* --- end-to-end: instrumented run ------------------------------------------ *)
+
+let run_once seed =
+  Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:4
+    ~dist:Harness.Runner.Divergent ~load:Net.Fault.Failure_free ~seed ()
+
+let test_run_metrics_populated () =
+  let r = run_once 7L in
+  List.iter
+    (fun metric ->
+      Alcotest.(check bool) (metric ^ " > 0") true
+        (Obs.Metrics.sum_counters r.metrics metric > 0))
+    [ "radio.tx"; "mac.tx"; "validation.accepted"; "proto.broadcasts" ]
+
+let test_run_metrics_deterministic () =
+  let a = run_once 11L and b = run_once 11L and c = run_once 12L in
+  Alcotest.(check bool) "same seed, same snapshot" true (a.metrics = b.metrics);
+  Alcotest.(check bool) "different seed differs somewhere" true (c.metrics <> a.metrics)
+
+let test_runs_do_not_leak () =
+  fresh ();
+  Obs.Metrics.incr "radio.tx" ~by:1_000_000 ~labels:[ ("class", "bcast") ];
+  let r = run_once 3L in
+  Alcotest.(check bool) "pre-existing counter was reset" true
+    (Obs.Metrics.sum_counters r.metrics "radio.tx" < 1_000_000)
+
+let test_analyze_reports_sigma () =
+  fresh ();
+  Net.Trace.start ();
+  let r =
+    Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:8
+      ~dist:Harness.Runner.Divergent ~load:Net.Fault.Fail_stop ~seed:42L ()
+  in
+  let events = Obs.Trace2.events () in
+  Net.Trace.stop ();
+  Net.Trace.clear ();
+  Alcotest.(check bool) "run decided" false r.timed_out;
+  let report = Obs.Analyze.analyze events in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions sigma" true (contains "sigma" report);
+  Alcotest.(check bool) "found the meta event" true (contains "fail-stop" report);
+  Alcotest.(check bool) "per-phase timeline present" true (contains "timeline" report)
+
+let test_analyze_sigma_formula () =
+  (* n=8 k=6 t=0: ceil(8/2)*(8-6) + 6 - 2 = 12, and it must match Proto *)
+  Alcotest.(check int) "analyzer sigma" 12 (Obs.Analyze.sigma ~n:8 ~k:6 ~t:0);
+  let cfg = Core.Proto.default_config ~n:8 in
+  Alcotest.(check int) "matches Proto.sigma" (Core.Proto.sigma cfg ~t:0)
+    (Obs.Analyze.sigma ~n:8 ~k:cfg.Core.Proto.k ~t:0)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter basics" `Quick test_counter_basics;
+      Alcotest.test_case "label order irrelevant" `Quick test_label_order_irrelevant;
+      Alcotest.test_case "distinct labels distinct series" `Quick
+        test_distinct_labels_distinct_series;
+      Alcotest.test_case "type clash rejected" `Quick test_type_clash_rejected;
+      Alcotest.test_case "gauge add" `Quick test_gauge_add;
+      Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+      Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+      Alcotest.test_case "with_run scoping" `Quick test_with_run_scoping;
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "trace2 event roundtrip" `Quick test_trace2_event_roundtrip;
+      Alcotest.test_case "trace2 limit and dropped" `Quick test_trace2_limit_and_dropped;
+      Alcotest.test_case "trace2 file roundtrip" `Quick test_trace2_file_roundtrip;
+      Alcotest.test_case "render trailer" `Quick test_render_trailer;
+      Alcotest.test_case "run metrics populated" `Quick test_run_metrics_populated;
+      Alcotest.test_case "run metrics deterministic" `Quick test_run_metrics_deterministic;
+      Alcotest.test_case "runs do not leak" `Quick test_runs_do_not_leak;
+      Alcotest.test_case "analyze reports sigma" `Quick test_analyze_reports_sigma;
+      Alcotest.test_case "analyze sigma formula" `Quick test_analyze_sigma_formula;
+    ] )
