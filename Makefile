@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench chaos clean
 
 all: build
 
@@ -13,8 +13,16 @@ test:
 fmt:
 	dune build @fmt
 
-# the gate a PR must pass: formatting, a warning-clean build, all tests
-check: fmt build test
+# chaos smoke: a short randomized fault-injection sweep (fixed seed, so
+# it is deterministic) plus the harness self-test against a planted bug
+chaos:
+	dune exec bin/turquois_lab.exe -- chaos --runs 25 --seed 42 --quiet
+	dune exec bin/turquois_lab.exe -- chaos --runs 3 --seed 7 --broken-machine --quiet > /dev/null 2>&1; \
+	  test $$? -eq 1 || { echo "chaos self-test failed: planted bug not detected"; exit 1; }
+
+# the gate a PR must pass: formatting, a warning-clean build, all tests,
+# and the chaos smoke sweep
+check: fmt build test chaos
 
 bench:
 	dune exec bench/main.exe -- --quick

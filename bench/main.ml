@@ -21,6 +21,7 @@ let reps = ref 15
 let sizes = ref Harness.Paper.group_sizes
 let tables = ref true
 let sigma = ref true
+let adversary = ref true
 let phases = ref true
 let micro = ref true
 let seed = ref 1000L
@@ -44,6 +45,7 @@ let speclist =
       Arg.Unit
         (fun () ->
           sigma := false;
+          adversary := false;
           phases := false;
           micro := false),
       " only regenerate Tables 1-3" );
@@ -52,8 +54,17 @@ let speclist =
         (fun () ->
           tables := false;
           sigma := false;
+          adversary := false;
           phases := false),
       " only the Bechamel micro-benchmarks" );
+    ( "--adversary-only",
+      Arg.Unit
+        (fun () ->
+          tables := false;
+          sigma := false;
+          phases := false;
+          micro := false),
+      " only the sigma-edge vs static-loss comparison" );
     ( "--json",
       Arg.String (fun f -> json_out := Some f),
       "FILE write a machine-readable summary (table cells + per-load metrics) to FILE" );
@@ -90,6 +101,163 @@ let run_tables () =
       (load, results))
     [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ]
 
+(* --- section 1b: sigma-edge adversary vs matched static loss --------------- *)
+
+type adversary_point = {
+  adv_n : int;
+  adv_k : int;
+  adv_sigma : int;
+  adv_rate : float;  (** per-receiver omission rate the adversary achieved *)
+  adv_drops : int;
+  adv_edge : Util.Stats.summary;  (** completion latency, ms, censored *)
+  adv_static : Util.Stats.summary;
+  adv_edge_timeouts : int;
+  adv_static_timeouts : int;
+}
+
+let silent_conditions = { Net.Fault.loss_prob = 0.0; jam_windows = [] }
+
+(* Every correct process contributes its decision latency, censored at the
+   timeout when it never decides: the sigma-edge adversary sits exactly at
+   the Section 5 liveness bound, so starving a victim forever is expected
+   behaviour, and dropping those processes from the mean would hide
+   precisely the delay the adversary buys. *)
+let censored_latencies ~timeout (r : Harness.Runner.result) =
+  List.map
+    (fun i ->
+      match List.assoc_opt i r.latencies with
+      | Some l -> 1000.0 *. l
+      | None -> 1000.0 *. timeout)
+    r.correct
+
+let run_adversary () =
+  banner
+    "Adaptive adversary: sigma-edge omissions vs iid loss at the same rate";
+  let timeout = 10.0 in
+  let reps = max 3 (min !reps 10) in
+  let points =
+    List.map
+      (fun n ->
+        let k = n - Net.Fault.max_f n in
+        let s = Net.Fault.sigma ~n ~k ~t:0 in
+        (* pass 1: the adaptive adversary, counting the drops it spends *)
+        let edge_runs =
+          List.init reps (fun i ->
+              let handle = ref None in
+              let r =
+                Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n
+                  ~dist:Harness.Runner.Divergent ~load:Net.Fault.Failure_free
+                  ~conditions:silent_conditions
+                  ~attach:(fun radio ->
+                    handle := Some (Net.Fault.sigma_edge radio ~n ~k ~t:0 ()))
+                  ~timeout
+                  ~seed:(Int64.add !seed (Int64.of_int (7000 + i)))
+                  ()
+              in
+              let drops =
+                match !handle with
+                | Some h -> Net.Fault.sigma_edge_drops h
+                | None -> 0
+              in
+              (r, drops))
+        in
+        let drops = List.fold_left (fun a (_, d) -> a + d) 0 edge_runs in
+        let opportunities =
+          List.fold_left
+            (fun a ((r : Harness.Runner.result), _) ->
+              a + (r.frames_sent * (n - 1)))
+            0 edge_runs
+        in
+        let rate =
+          if opportunities = 0 then 0.0
+          else float_of_int drops /. float_of_int opportunities
+        in
+        (* pass 2: iid loss at the rate the adversary actually achieved *)
+        let static_runs =
+          List.init reps (fun i ->
+              Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n
+                ~dist:Harness.Runner.Divergent ~load:Net.Fault.Failure_free
+                ~conditions:{ Net.Fault.loss_prob = rate; jam_windows = [] }
+                ~timeout
+                ~seed:(Int64.add !seed (Int64.of_int (7000 + i)))
+                ())
+        in
+        {
+          adv_n = n;
+          adv_k = k;
+          adv_sigma = s;
+          adv_rate = rate;
+          adv_drops = drops;
+          adv_edge =
+            Util.Stats.summarize
+              (List.concat_map
+                 (fun (r, _) -> censored_latencies ~timeout r)
+                 edge_runs);
+          adv_static =
+            Util.Stats.summarize
+              (List.concat_map (censored_latencies ~timeout) static_runs);
+          adv_edge_timeouts =
+            List.length
+              (List.filter
+                 (fun ((r : Harness.Runner.result), _) -> r.timed_out)
+                 edge_runs);
+          adv_static_timeouts =
+            List.length
+              (List.filter
+                 (fun (r : Harness.Runner.result) -> r.timed_out)
+                 static_runs);
+        })
+      [ 4; 7 ]
+  in
+  let row p =
+    [
+      string_of_int p.adv_n;
+      string_of_int p.adv_sigma;
+      Printf.sprintf "%.1f%%" (100.0 *. p.adv_rate);
+      Printf.sprintf "%.1f ms" p.adv_edge.Util.Stats.mean;
+      Printf.sprintf "%d/%d" p.adv_edge_timeouts reps;
+      Printf.sprintf "%.1f ms" p.adv_static.Util.Stats.mean;
+      Printf.sprintf "%d/%d" p.adv_static_timeouts reps;
+    ]
+  in
+  print_string
+    (Util.Tablefmt.render
+       ~header:
+         [
+           "n";
+           "sigma";
+           "omission rate";
+           "sigma-edge";
+           "stalls";
+           "static loss";
+           "stalls";
+         ]
+       ~rows:(List.map row points) ());
+  print_newline ();
+  points
+
+let adversary_to_json p =
+  let slowdown =
+    if p.adv_static.Util.Stats.mean > 0.0 then
+      p.adv_edge.Util.Stats.mean /. p.adv_static.Util.Stats.mean
+    else 0.0
+  in
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int p.adv_n);
+      ("k", Obs.Json.Int p.adv_k);
+      ("sigma", Obs.Json.Int p.adv_sigma);
+      ("matched_loss_rate", Obs.Json.Float p.adv_rate);
+      ("drops", Obs.Json.Int p.adv_drops);
+      ("sigma_edge_mean_ms", Obs.Json.Float p.adv_edge.Util.Stats.mean);
+      ("sigma_edge_ci95_ms", Obs.Json.Float p.adv_edge.Util.Stats.ci95);
+      ("sigma_edge_timeouts", Obs.Json.Int p.adv_edge_timeouts);
+      ("static_loss_mean_ms", Obs.Json.Float p.adv_static.Util.Stats.mean);
+      ("static_loss_ci95_ms", Obs.Json.Float p.adv_static.Util.Stats.ci95);
+      ("static_loss_timeouts", Obs.Json.Int p.adv_static_timeouts);
+      ("slowdown", Obs.Json.Float slowdown);
+    ]
+
 (* --- machine-readable summary ---------------------------------------------- *)
 
 let cell_to_json (cr : Harness.Experiment.cell_result) =
@@ -119,7 +287,7 @@ let metrics_json () =
          (Net.Fault.load_to_string load, Obs.Metrics.to_json r.metrics))
        [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ])
 
-let write_json file table_results =
+let write_json file table_results adversary_results =
   let doc =
     Obs.Json.Obj
       [
@@ -137,6 +305,8 @@ let write_json file table_results =
                      ("cells", Obs.Json.List (List.map cell_to_json results));
                    ])
                table_results) );
+        ( "adversary",
+          Obs.Json.List (List.map adversary_to_json adversary_results) );
         ("metrics", metrics_json ());
       ]
   in
@@ -280,8 +450,11 @@ let () =
     "bench/main.exe [options]";
   let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
+  let adversary_results = if !adversary then run_adversary () else [] in
   if !phases then run_phases ();
   if !phases then run_ablations ();
   if !micro then run_micro ();
-  (match !json_out with None -> () | Some file -> write_json file table_results);
+  (match !json_out with
+  | None -> ()
+  | Some file -> write_json file table_results adversary_results);
   print_endline "benchmark complete."

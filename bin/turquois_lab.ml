@@ -269,6 +269,67 @@ let run_cmd =
     (Cmd.info "run" ~doc:"One verbose consensus execution")
     Term.(const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg)
 
+(* --- chaos ------------------------------------------------------------------ *)
+
+let strategy_conv =
+  let parse s =
+    match Core.Strategy.of_string s with
+    | Some strategy -> Ok strategy
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S (known: %s)" s
+               (String.concat ", " (List.map Core.Strategy.name Core.Strategy.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Strategy.name s))
+
+let run_chaos runs seed n strategy broken quiet =
+  let log = if quiet then fun _ -> () else progress in
+  let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
+  let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~log ~runs ~seed () in
+  Printf.printf
+    "chaos: %d run(s) x {Turquois, Bracha, ABBA}, seed %Ld, n=%d\n\
+    \  liveness checkable on %d schedule(s); %d violation(s)\n"
+    report.runs seed n report.liveness_checked
+    (List.length report.failures);
+  List.iter
+    (fun (f : Harness.Chaos.failure) ->
+      Printf.printf
+        "  VIOLATION run %d, %s, seed %Ld%s:\n    %s\n    minimal schedule: %s\n\
+        \    replay: turquois_lab chaos --runs %d --seed %Ld%s\n"
+        f.index
+        (Harness.Runner.protocol_to_string f.protocol)
+        f.seed
+        (match f.strategy with Some s -> ", strategy " ^ s | None -> "")
+        (String.concat "; " f.violations)
+        (Net.Schedule.to_string f.shrunk) (f.index + 1) seed
+        (match f.strategy with Some s -> " --strategy " ^ s | None -> ""))
+    report.failures;
+  if report.failures = [] then 0 else 1
+
+let chaos_cmd =
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"RUNS" ~doc:"Randomized runs to execute.")
+  in
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size per run.")
+  in
+  let strategy_arg =
+    Arg.(value & opt (some strategy_conv) None
+         & info [ "strategy" ] ~docv:"NAME"
+             ~doc:"Pin every Byzantine run to one strategy (default: rotate through all).")
+  in
+  let broken_arg =
+    Arg.(value & flag
+         & info [ "broken-machine" ]
+             ~doc:"Inject a deliberately broken machine (flipped reported decision); the \
+                   harness must detect it and exit non-zero.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
+    Term.(const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg $ quiet_arg)
+
 (* --- analyze ---------------------------------------------------------------- *)
 
 let run_analyze file n k t =
@@ -313,6 +374,6 @@ let analyze_cmd =
 let main_cmd =
   let doc = "Turquois (DSN 2010) reproduction laboratory" in
   Cmd.group (Cmd.info "turquois-lab" ~doc)
-    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd; analyze_cmd ]
+    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd; chaos_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,7 +7,7 @@ type stats = {
   mutable pending_peak : int;
 }
 
-type behavior = Correct | Attacker
+type behavior = Correct | Attacker | Byzantine of Strategy.t
 
 type t = {
   cfg : Proto.config;
@@ -64,10 +64,12 @@ let create cfg ~keyring ~rng ?(behavior = Correct) ~proposal () =
 (* --- outgoing ----------------------------------------------------------- *)
 
 (* What actually goes on the wire: correct processes send their state;
-   the attacker follows the strategy of §7.2. *)
+   the legacy attacker follows the strategy of §7.2. Byzantine
+   strategies shape their frames in [emit]; here they report the true
+   state, which is what the justification builder supports. *)
 let wire_fields t =
   match t.behavior with
-  | Correct -> (t.v_i, t.origin_i, t.status_i)
+  | Correct | Byzantine _ -> (t.v_i, t.origin_i, t.status_i)
   | Attacker -> begin
       match Proto.kind_of_phase t.phase_i with
       | Proto.Converge | Proto.Lock ->
@@ -155,19 +157,95 @@ let build_justification t =
   Hashtbl.fold (fun _ m acc -> m :: acc) selected []
   |> List.sort (fun (a : Message.t) (b : Message.t) -> compare (a.phase, a.sender) (b.phase, b.sender))
 
+type transmission =
+  | Quiet
+  | Broadcast of Message.envelope
+  | Per_receiver of (int * Message.envelope) list
+
+(* Corrupt the one-time signature in a way a verifier must detect: flip
+   every bit of the first proof byte. *)
+let garble_proof proof =
+  let b = Bytes.copy proof in
+  if Bytes.length b > 0 then
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  b
+
+(* Sign a strategy-shaped frame. Replayed phases reuse that phase's
+   (long-revealed) one-time key, which is exactly what makes the replay
+   attack realistic; the phase is clamped to the key horizon. *)
+let sign_wire t (w : Strategy.wire) =
+  let phase =
+    match w.Strategy.w_phase with
+    | None -> t.phase_i
+    | Some p -> max 1 (min (Keyring.phases t.keyring) p)
+  in
+  let proof = Keyring.sign t.keyring ~phase ~value:w.w_value ~origin:w.w_origin in
+  let proof = if w.Strategy.w_garble then garble_proof proof else proof in
+  {
+    Message.sender = id t;
+    phase;
+    value = w.Strategy.w_value;
+    origin = w.Strategy.w_origin;
+    status = w.Strategy.w_status;
+    proof;
+  }
+
+let emit t ~justify =
+  if t.phase_i > t.cfg.max_phases then Quiet
+  else
+    match t.behavior with
+    | Correct | Attacker ->
+        let value, origin, status = wire_fields t in
+        let proof = Keyring.sign t.keyring ~phase:t.phase_i ~value ~origin in
+        let msg =
+          { Message.sender = id t; phase = t.phase_i; value; origin; status; proof }
+        in
+        let justification = if justify then build_justification t else [] in
+        t.last_broadcast <- Some (t.phase_i, value, status);
+        (* a correct process trusts its own state: V gets the message
+           directly (any loopback copy is deduplicated) *)
+        ignore (Vset.add t.v msg);
+        Broadcast { Message.msg; justification }
+    | Byzantine strategy -> begin
+        let view =
+          {
+            Strategy.phase = t.phase_i;
+            value = t.v_i;
+            status = t.status_i;
+            n = t.cfg.n;
+            self = id t;
+          }
+        in
+        match Strategy.plan strategy ~rng:t.rng view with
+        | Strategy.Skip -> Quiet
+        | Strategy.Emit w ->
+            let msg = sign_wire t w in
+            let justification = if justify then build_justification t else [] in
+            t.last_broadcast <- Some (t.phase_i, msg.value, msg.status);
+            Broadcast { Message.msg; justification }
+        | Strategy.Emit_per_receiver f ->
+            let outs =
+              List.filter_map
+                (fun rx ->
+                  if rx = id t then None
+                  else
+                    match f rx with
+                    | None -> None
+                    | Some w -> Some (rx, { Message.msg = sign_wire t w; justification = [] }))
+                (List.init t.cfg.n (fun i -> i))
+            in
+            t.last_broadcast <- Some (t.phase_i, t.v_i, t.status_i);
+            Per_receiver outs
+      end
+
 let prepare t ~justify =
-  if t.phase_i > t.cfg.max_phases then None
-  else begin
-    let value, origin, status = wire_fields t in
-    let proof = Keyring.sign t.keyring ~phase:t.phase_i ~value ~origin in
-    let msg = { Message.sender = id t; phase = t.phase_i; value; origin; status; proof } in
-    let justification = if justify then build_justification t else [] in
-    t.last_broadcast <- Some (t.phase_i, value, status);
-    (* a correct process trusts its own state: V gets the message
-       directly (any loopback copy is deduplicated) *)
-    ignore (Vset.add t.v msg);
-    Some { Message.msg; justification }
-  end
+  match emit t ~justify with
+  | Quiet -> None
+  | Broadcast env -> Some env
+  | Per_receiver _ ->
+      (* broadcast-only drivers see an equivocator as silent; shells that
+         support unicast use [emit] directly *)
+      None
 
 (* --- state transitions (task T2) ---------------------------------------- *)
 
@@ -249,12 +327,17 @@ let settle_decision t =
   end
   else []
 
-(* Decision certificate: more than (n+f)/2 distinct processes have sent
+(* Decision certificate: at least f+1 distinct processes have sent
    authentic messages claiming they decided v. At least one of them is
-   correct (quorum - f > f for n > 3f), so adopting the decision is
-   safe. This is how a process that fell too far behind to replay the
-   validation chain still terminates once the group has decided — the
-   same amplification idea as Bracha's READY rule. *)
+   correct, that one really decided v, and agreement makes v the only
+   decidable value — so adopting it is safe. This is how a process that
+   fell too far behind (or was dragged past the deciding phase by a
+   Byzantine higher-phase message) still terminates once the group has
+   decided — the same amplification idea as Bracha's READY rule. A full
+   quorum of claims would be too strong: with n = 4, f = 1, a process
+   stranded above the decision phase hears only the 2 other correct
+   deciders, and the chaos harness's equivocation strategy turns that
+   into a permanent stall. *)
 let try_decision_certificate t =
   if t.status_i = Proto.Decided then false
   else begin
@@ -264,7 +347,7 @@ let try_decision_certificate t =
       t.decided_claims;
     let winner =
       Hashtbl.fold
-        (fun v count acc -> if Proto.quorum_exceeded t.cfg count then Some v else acc)
+        (fun v count acc -> if count >= t.cfg.f + 1 then Some v else acc)
         votes None
     in
     match winner with
@@ -318,7 +401,7 @@ let drain_pending t =
         let still_pending =
           List.filter
             (fun m ->
-              if Vset.mem t.v ~sender:(fst key) ~phase:(snd key) then begin
+              if Vset.mem_copy t.v m then begin
                 t.stats.duplicates <- t.stats.duplicates + 1;
                 Obs.Metrics.incr "validation.duplicates";
                 t.pending_count <- t.pending_count - 1;
@@ -357,7 +440,7 @@ let handle t { Message.msg; justification } =
   let auth_checks = ref 0 in
   let claims_before = Hashtbl.length t.decided_claims in
   let consider m =
-    if Vset.mem t.v ~sender:m.Message.sender ~phase:m.Message.phase then begin
+    if Vset.mem_copy t.v m then begin
       t.stats.duplicates <- t.stats.duplicates + 1;
       Obs.Metrics.incr "validation.duplicates"
     end

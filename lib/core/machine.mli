@@ -19,7 +19,14 @@ type stats = {
   mutable pending_peak : int;
 }
 
-type behavior = Correct | Attacker
+type behavior =
+  | Correct
+  | Attacker
+      (** The fixed §7.2 value-flipping attacker used for Table 3 — kept
+          verbatim for reproducibility. *)
+  | Byzantine of Strategy.t
+      (** An arbitrary strategy from the {!Strategy} library, consulted
+          at every transmission opportunity. *)
 
 type t
 
@@ -42,11 +49,23 @@ val decision_phase : t -> int option
 val stats : t -> stats
 val vset : t -> Vset.t
 
+type transmission =
+  | Quiet  (** nothing this opportunity *)
+  | Broadcast of Message.envelope  (** one frame for everyone *)
+  | Per_receiver of (int * Message.envelope) list
+      (** receiver-specific frames (equivocation); shipped as unicasts *)
+
+val emit : t -> justify:bool -> transmission
+(** The transmission for the current state (task T1). Correct and
+    [Attacker] machines broadcast; [Byzantine] machines follow their
+    strategy, which may stay silent or equivocate per receiver. With
+    [justify], the explicit-validation bundle is attached. Correct
+    machines also record their own message in their V set. [Quiet] once
+    the phase exceeds the one-time key horizon. *)
+
 val prepare : t -> justify:bool -> Message.envelope option
-(** The broadcast for the current state (task T1). With [justify], the
-    explicit-validation bundle is attached. Also records the process's
-    own message in its V set. [None] once the phase exceeds the one-time
-    key horizon (the instance can no longer transmit). *)
+(** {!emit} restricted to broadcast: [Quiet] and [Per_receiver] map to
+    [None]. Kept for broadcast-only drivers. *)
 
 val handle : t -> Message.envelope -> event list * int
 (** Task T2 for one arriving envelope: authenticity checks, the pending

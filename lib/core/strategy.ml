@@ -1,0 +1,170 @@
+type view = {
+  phase : int;
+  value : Proto.value;
+  status : Proto.status;
+  n : int;
+  self : int;
+}
+
+type wire = {
+  w_phase : int option;
+  w_value : Proto.value;
+  w_origin : Proto.origin;
+  w_status : Proto.status;
+  w_garble : bool;
+}
+
+let honest view =
+  {
+    w_phase = None;
+    w_value = view.value;
+    w_origin = Proto.Deterministic;
+    w_status = view.status;
+    w_garble = false;
+  }
+
+type plan = Skip | Emit of wire | Emit_per_receiver of (int -> wire option)
+
+type t = { name : string; describe : string; plan : rng:Util.Rng.t -> view -> plan }
+
+let name s = s.name
+let describe s = s.describe
+let plan s = s.plan
+
+let flip = function Proto.V0 -> Proto.V1 | Proto.V1 -> Proto.V0 | Proto.Vbot -> Proto.V1
+
+(* The paper's §7.2 attacker: flipped values in CONVERGE and LOCK,
+   ⊥ in DECIDE, always undecided. *)
+let value_flip =
+  {
+    name = "value-flip";
+    describe = "flipped value in CONVERGE/LOCK, bottom in DECIDE (the paper's Table 3 attack)";
+    plan =
+      (fun ~rng:_ view ->
+        let w_value =
+          match Proto.kind_of_phase view.phase with
+          | Proto.Converge | Proto.Lock -> flip view.value
+          | Proto.Decide -> Proto.Vbot
+        in
+        Emit
+          {
+            w_phase = None;
+            w_value;
+            w_origin = Proto.Deterministic;
+            w_status = Proto.Undecided;
+            w_garble = false;
+          });
+  }
+
+(* Equivocation: contradictory values to different receivers, shipped as
+   unicasts so no receiver sees the other copy on the air. *)
+let equivocate =
+  {
+    name = "equivocate";
+    describe = "V0 to even-id receivers, V1 to odd-id receivers, via unicast";
+    plan =
+      (fun ~rng:_ _view ->
+        Emit_per_receiver
+          (fun rx ->
+            Some
+              {
+                w_phase = None;
+                w_value = (if rx mod 2 = 0 then Proto.V0 else Proto.V1);
+                w_origin = Proto.Deterministic;
+                w_status = Proto.Undecided;
+                w_garble = false;
+              }));
+  }
+
+(* Stale-phase replay: re-signs and rebroadcasts an old phase with a
+   long-revealed one-time key — receivers must deduplicate / ignore. *)
+let stale_replay =
+  {
+    name = "stale-replay";
+    describe = "replays phase max(1, phi-3) with its already-revealed one-time key";
+    plan =
+      (fun ~rng view ->
+        let old_phase = max 1 (view.phase - 3) in
+        Emit
+          {
+            w_phase = Some old_phase;
+            w_value = (if Util.Rng.bool rng then Proto.V0 else Proto.V1);
+            w_origin = Proto.Deterministic;
+            w_status = Proto.Undecided;
+            w_garble = false;
+          });
+  }
+
+(* Forged signatures: plausible protocol fields under a corrupted
+   one-time proof — every copy must die at the authenticity check. *)
+let forge_sig =
+  {
+    name = "forge-sig";
+    describe = "honest-looking fields under a corrupted one-time signature";
+    plan = (fun ~rng:_ view -> Emit { (honest view) with w_garble = true });
+  }
+
+(* Selective silence: honest frames, but withheld from half the group —
+   the attacker-controlled counterpart of a targeted omission fault. *)
+let selective_silence =
+  {
+    name = "selective-silence";
+    describe = "honest state unicast to odd-id receivers only; even ids hear nothing";
+    plan =
+      (fun ~rng:_ view ->
+        Emit_per_receiver (fun rx -> if rx mod 2 = 0 then None else Some (honest view)));
+  }
+
+let silent =
+  {
+    name = "silent";
+    describe = "never transmits (pure crash from the group's point of view)";
+    plan = (fun ~rng:_ _ -> Skip);
+  }
+
+(* Garbled values chosen fresh per transmission: stress-tests the
+   validation fixpoint with inconsistent, signed nonsense. *)
+let random_values =
+  {
+    name = "random-values";
+    describe = "a fresh random (value, status) each broadcast, correctly signed";
+    plan =
+      (fun ~rng _ ->
+        let w_value =
+          match Util.Rng.int rng 3 with 0 -> Proto.V0 | 1 -> Proto.V1 | _ -> Proto.Vbot
+        in
+        Emit
+          {
+            w_phase = None;
+            w_value;
+            w_origin = (if Util.Rng.bool rng then Proto.Deterministic else Proto.Random);
+            w_status = Proto.Undecided;
+            w_garble = false;
+          });
+  }
+
+(* --- combinators ----------------------------------------------------------- *)
+
+let alternate a b =
+  {
+    name = Printf.sprintf "%s/%s" a.name b.name;
+    describe = Printf.sprintf "phase-alternating: %s on odd phases, %s on even" a.name b.name;
+    plan =
+      (fun ~rng view ->
+        if view.phase mod 2 = 1 then a.plan ~rng view else b.plan ~rng view);
+  }
+
+let all =
+  [
+    value_flip;
+    equivocate;
+    stale_replay;
+    forge_sig;
+    selective_silence;
+    silent;
+    random_values;
+    alternate equivocate stale_replay;
+  ]
+
+let of_string s =
+  List.find_opt (fun strategy -> strategy.name = String.lowercase_ascii s) all

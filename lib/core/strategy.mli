@@ -1,0 +1,86 @@
+(** Composable Byzantine attack strategies.
+
+    A strategy decides, per transmission opportunity, what a compromised
+    process puts on the wire: a single lying broadcast, contradictory
+    per-receiver unicasts (equivocation), a replay of an old phase,
+    garbage signatures, or nothing at all. {!Machine} consults the
+    strategy in {!Machine.emit}; the {!Turquois} shell ships
+    [Emit_per_receiver] plans as unicasts so no receiver overhears the
+    conflicting copy.
+
+    Strategies never touch the machine's internal state — they only
+    shape its output — so a Byzantine machine's own bookkeeping stays
+    deterministic and the safety checks of the chaos harness apply
+    uniformly. *)
+
+type view = {
+  phase : int;           (** the machine's current phase φ_i *)
+  value : Proto.value;   (** its current value v_i *)
+  status : Proto.status;
+  n : int;               (** group size *)
+  self : int;            (** the attacker's own process id *)
+}
+(** What the strategy sees of the compromised machine. *)
+
+type wire = {
+  w_phase : int option;  (** [None] = current phase; [Some p] = replay at p *)
+  w_value : Proto.value;
+  w_origin : Proto.origin;
+  w_status : Proto.status;
+  w_garble : bool;       (** corrupt the one-time signature bytes *)
+}
+(** One frame as the attacker wants it signed and sent. *)
+
+val honest : view -> wire
+(** The frame a correct process would send — the base strategies
+    mutate from here. *)
+
+type plan =
+  | Skip                                   (** stay silent this opportunity *)
+  | Emit of wire                           (** same frame to everyone *)
+  | Emit_per_receiver of (int -> wire option)
+      (** receiver-specific frames; [None] withholds from that receiver *)
+
+type t
+
+val name : t -> string
+val describe : t -> string
+
+val value_flip : t
+(** The paper's §7.2 attacker (the legacy [Attacker] behavior). *)
+
+val equivocate : t
+(** V0 to even-id receivers, V1 to odd — classic equivocation via
+    unicast. *)
+
+val stale_replay : t
+(** Replays phase [max 1 (φ−3)] signed with its long-revealed key. *)
+
+val forge_sig : t
+(** Honest-looking fields under corrupted proofs; must be rejected by
+    authenticity validation. *)
+
+val selective_silence : t
+(** Honest frames withheld from even-id receivers. *)
+
+val silent : t
+(** Never transmits. *)
+
+val random_values : t
+(** Fresh random signed (value, origin) nonsense every opportunity. *)
+
+val alternate : t -> t -> t
+(** Phase-alternating composition: first strategy on odd phases, second
+    on even. *)
+
+val all : t list
+(** Every built-in strategy (including one composed example), in a
+    stable order — the chaos harness and CLI iterate this. *)
+
+val of_string : string -> t option
+(** Look up by {!name} (case-insensitive). *)
+
+(**/**)
+
+val plan : t -> rng:Util.Rng.t -> view -> plan
+(** Used by {!Machine}; not part of the stable surface. *)

@@ -4,7 +4,10 @@ let default_adaptive = Adaptive_tick { floor = 2.5e-3; factor = 0.5 }
 
 type auth_cost = Onetime_cost | Rsa_cost
 
-type behavior = Machine.behavior = Correct | Attacker
+type behavior = Machine.behavior =
+  | Correct
+  | Attacker
+  | Byzantine of Strategy.t
 
 type stats = {
   mutable ticks : int;
@@ -92,20 +95,23 @@ let create node cfg ~keyring ?(behavior = Correct) ?(port = 443)
       };
   }
 
+let count_broadcast t (envelope : Message.envelope) =
+  (match t.auth_cost with
+  | Onetime_cost -> ()  (* signing reveals a precomputed key: free *)
+  | Rsa_cost -> Net.Node.charge t.node Net.Cost.rsa_sign);
+  t.shell_stats.broadcasts <- t.shell_stats.broadcasts + 1;
+  Obs.Metrics.incr "proto.broadcasts" ~labels:[ ("proto", "turquois") ];
+  Obs.Metrics.incr "proto.msgs_sent" ~labels:[ ("proto", "turquois") ];
+  if envelope.justification <> [] then begin
+    t.shell_stats.justified_broadcasts <- t.shell_stats.justified_broadcasts + 1;
+    Obs.Metrics.incr "proto.justified" ~labels:[ ("proto", "turquois") ]
+  end
+
 let broadcast_state t ~justify =
-  match Machine.prepare t.machine ~justify with
-  | None -> ()  (* one-time key horizon exhausted *)
-  | Some envelope ->
-      (match t.auth_cost with
-      | Onetime_cost -> ()  (* signing reveals a precomputed key: free *)
-      | Rsa_cost -> Net.Node.charge t.node Net.Cost.rsa_sign);
-      t.shell_stats.broadcasts <- t.shell_stats.broadcasts + 1;
-      Obs.Metrics.incr "proto.broadcasts" ~labels:[ ("proto", "turquois") ];
-      Obs.Metrics.incr "proto.msgs_sent" ~labels:[ ("proto", "turquois") ];
-      if envelope.justification <> [] then begin
-        t.shell_stats.justified_broadcasts <- t.shell_stats.justified_broadcasts + 1;
-        Obs.Metrics.incr "proto.justified" ~labels:[ ("proto", "turquois") ]
-      end;
+  match Machine.emit t.machine ~justify with
+  | Machine.Quiet -> ()  (* key horizon exhausted, or a silent strategy *)
+  | Machine.Broadcast envelope ->
+      count_broadcast t envelope;
       Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
         ~layer:"turquois" ~label:"broadcast"
         [
@@ -114,6 +120,21 @@ let broadcast_state t ~justify =
           ("justifying", Obs.Trace2.I (List.length envelope.justification));
         ];
       Net.Node.broadcast t.node ~port:t.port (Message.encode envelope)
+  | Machine.Per_receiver frames ->
+      (* equivocation: ship each receiver its private copy as a unicast
+         so nobody overhears the contradicting frame *)
+      List.iter
+        (fun (rx, (envelope : Message.envelope)) ->
+          count_broadcast t envelope;
+          Obs.Metrics.incr "proto.equivocations" ~labels:[ ("proto", "turquois") ];
+          Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
+            ~layer:"turquois" ~label:"equivocate"
+            [
+              ("to", Obs.Trace2.I rx);
+              ("msg", Obs.Trace2.S (Message.describe envelope.msg));
+            ];
+          Net.Node.unicast t.node ~dst:rx ~port:t.port (Message.encode envelope))
+        frames
 
 let rec arm_tick t =
   (match t.tick_handle with

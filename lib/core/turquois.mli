@@ -35,11 +35,16 @@ val default_adaptive : tick_policy
     quantifying what the paper's contribution (3) saves. *)
 type auth_cost = Onetime_cost | Rsa_cost
 
-(** Re-export of {!Machine.behavior}. [Attacker] is the paper's
+(** Re-export of {!Machine.behavior}. [Attacker] is the paper's fixed
     Byzantine strategy (§7.2): broadcast the opposite value in CONVERGE
     and LOCK phases and ⊥ in DECIDE phases, even when the resulting
-    messages are invalid. *)
-type behavior = Machine.behavior = Correct | Attacker
+    messages are invalid. [Byzantine] runs an arbitrary strategy from
+    the {!Strategy} library; equivocating plans are shipped as unicasts
+    so no receiver overhears the conflicting copy. *)
+type behavior = Machine.behavior =
+  | Correct
+  | Attacker
+  | Byzantine of Strategy.t
 
 type stats = {
   mutable ticks : int;            (** T1 activations *)

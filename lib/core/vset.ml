@@ -1,11 +1,16 @@
 type t = {
   n : int;
   by_phase : (int, Message.t option array) Hashtbl.t;
+  (* additional differently-valued copies per (sender, phase): an
+     equivocating sender's other messages. At most one stored copy per
+     value, so a slot holds <= 3 messages total. *)
+  extras : (int * int, Message.t list) Hashtbl.t;
   mutable highest : Message.t option;
   mutable total : int;
 }
 
-let create ~n = { n; by_phase = Hashtbl.create 32; highest = None; total = 0 }
+let create ~n =
+  { n; by_phase = Hashtbl.create 32; extras = Hashtbl.create 4; highest = None; total = 0 }
 
 let row t phase =
   match Hashtbl.find_opt t.by_phase phase with
@@ -15,12 +20,22 @@ let row t phase =
       Hashtbl.add t.by_phase phase slots;
       slots
 
+let copies t ~sender ~phase =
+  let primary =
+    match Hashtbl.find_opt t.by_phase phase with
+    | None -> []
+    | Some slots ->
+        if sender >= 0 && sender < t.n then
+          match slots.(sender) with Some m -> [ m ] | None -> []
+        else []
+  in
+  primary @ Option.value ~default:[] (Hashtbl.find_opt t.extras (sender, phase))
+
 let add t (m : Message.t) =
   if m.sender < 0 || m.sender >= t.n then false
   else begin
     let slots = row t m.phase in
     match slots.(m.sender) with
-    | Some _ -> false
     | None ->
         slots.(m.sender) <- Some m;
         t.total <- t.total + 1;
@@ -28,6 +43,21 @@ let add t (m : Message.t) =
         | Some h when h.phase >= m.phase -> ()
         | Some _ | None -> t.highest <- Some m);
         true
+    | Some _ ->
+        (* a second copy is retained only when it carries a value not
+           seen from this (sender, phase) yet: distinct messages from an
+           equivocating sender are all in V (the paper's V_i is a set of
+           messages), but each extra value can support a validation rule
+           at most once *)
+        let stored = copies t ~sender:m.sender ~phase:m.phase in
+        if List.exists (fun (c : Message.t) -> Proto.value_equal c.value m.value) stored
+        then false
+        else begin
+          Hashtbl.replace t.extras (m.sender, m.phase)
+            (m :: Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, m.phase)));
+          t.total <- t.total + 1;
+          true
+        end
   end
 
 let find t ~sender ~phase =
@@ -36,6 +66,9 @@ let find t ~sender ~phase =
   | Some slots -> if sender >= 0 && sender < t.n then slots.(sender) else None
 
 let mem t ~sender ~phase = find t ~sender ~phase <> None
+
+let mem_copy t (m : Message.t) =
+  List.exists (Message.header_equal m) (copies t ~sender:m.sender ~phase:m.phase)
 
 let fold_phase t phase f acc =
   match Hashtbl.find_opt t.by_phase phase with
@@ -48,11 +81,36 @@ let fold_phase t phase f acc =
 let count_phase t ~phase = fold_phase t phase (fun acc _ -> acc + 1) 0
 
 let count_value t ~phase ~value =
-  fold_phase t phase
-    (fun acc (m : Message.t) -> if Proto.value_equal m.value value then acc + 1 else acc)
-    0
+  (* distinct senders with ANY copy carrying [value]: an equivocating
+     sender supports every value it signed *)
+  match Hashtbl.find_opt t.by_phase phase with
+  | None -> 0
+  | Some slots ->
+      let count = ref 0 in
+      Array.iteri
+        (fun sender slot ->
+          match slot with
+          | None -> ()
+          | Some _ ->
+              if
+                List.exists
+                  (fun (c : Message.t) -> Proto.value_equal c.value value)
+                  (copies t ~sender ~phase)
+              then incr count)
+        slots;
+      !count
 
-let messages_at t ~phase = List.rev (fold_phase t phase (fun acc m -> m :: acc) [])
+let messages_at t ~phase =
+  match Hashtbl.find_opt t.by_phase phase with
+  | None -> []
+  | Some slots ->
+      let out = ref [] in
+      for sender = t.n - 1 downto 0 do
+        match slots.(sender) with
+        | None -> ()
+        | Some _ -> out := copies t ~sender ~phase @ !out
+      done;
+      !out
 
 let majority_value t ~phase =
   let zeros = count_value t ~phase ~value:Proto.V0 in

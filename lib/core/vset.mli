@@ -1,28 +1,48 @@
 (** The set V_i of valid received messages (Algorithm 1, line 9).
 
-    At most one message per (sender, phase) is retained — the first
-    valid one — so every quorum count below counts distinct senders, as
-    the protocol's thresholds require. *)
+    One primary message per (sender, phase) — the first valid one — so
+    quorum counts below count distinct senders, as the protocol's
+    thresholds require. An equivocating sender's differently-valued
+    copies for the same phase are additionally retained (the paper's
+    V_i is a set of {e messages}): without them, two correct processes
+    holding the two halves of an equivocation could never validate each
+    other's next-phase values, and the protocol would stall — the chaos
+    harness's equivocation strategy exercises exactly this. At most one
+    copy per value is kept, bounding a slot at 3 messages. *)
 
 type t
 
 val create : n:int -> t
 
 val add : t -> Message.t -> bool
-(** [add t m] stores [m] unless a message from the same sender at the
-    same phase is already present; returns whether it was stored. *)
+(** [add t m] stores [m] unless a copy from the same (sender, phase)
+    with the same value is already present; returns whether it was
+    stored. *)
 
 val mem : t -> sender:int -> phase:int -> bool
+(** A primary message from this (sender, phase) is present. *)
+
+val mem_copy : t -> Message.t -> bool
+(** A stored copy with [m]'s exact header (sender, phase, value, origin,
+    status) is present — the duplicate test for arriving messages. *)
+
 val find : t -> sender:int -> phase:int -> Message.t option
+(** The primary (first-stored) message of a (sender, phase). *)
+
+val copies : t -> sender:int -> phase:int -> Message.t list
+(** Every stored copy for a (sender, phase): primary first, then any
+    equivocated extras. *)
 
 val count_phase : t -> phase:int -> int
 (** Distinct senders with a message at [phase]. *)
 
 val count_value : t -> phase:int -> value:Proto.value -> int
-(** Distinct senders with a message at [phase] carrying [value]. *)
+(** Distinct senders with {e any} copy at [phase] carrying [value]; an
+    equivocating sender supports every value it signed. *)
 
 val messages_at : t -> phase:int -> Message.t list
-(** All stored messages of a phase, ascending sender order. *)
+(** All stored messages of a phase (including equivocated extras),
+    ascending sender order. *)
 
 val majority_value : t -> phase:int -> Proto.value
 (** The value appearing most often at [phase] among {0, 1} (ties favor

@@ -1,4 +1,4 @@
-type adversary = Random_omissions | Target_victims
+type adversary = Random_omissions | Target_victims | Sigma_edge
 
 type outcome = {
   deciders : int;
@@ -11,31 +11,18 @@ let sigma ~n ~k ~t =
   let cfg = { (Core.Proto.default_config ~n) with k } in
   Core.Proto.sigma cfg ~t
 
-let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_omissions)
-    ~omissions ~rounds ~seed () =
-  let rng = Util.Rng.create ~seed in
-  let cfg = { (Core.Proto.default_config ~n) with k; max_phases = 3 * rounds + 9 } in
-  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:cfg.max_phases () in
-  let proposals = Runner.proposals dist ~n in
-  let machines =
-    Array.init n (fun i ->
-        let behavior =
-          if List.mem i byzantine then Core.Machine.Attacker else Core.Machine.Correct
-        in
-        Core.Machine.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
-          ~proposal:proposals.(i) ())
-  in
-  let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n (fun i -> i)) in
+(* The suppressed (sender, receiver) pairs for one round, given the
+   adversary's pattern and omission budget. [correct] is the id list of
+   correct processes. *)
+let choose_dropped ~rng ~adversary ~correct ~omissions =
   let c = List.length correct in
-  let is_correct i = not (List.mem i byzantine) in
-  (* all (sender, receiver) pairs between distinct correct processes *)
+  let is_correct i = List.mem i correct in
   let correct_pairs =
     List.concat_map
       (fun s -> List.filter_map (fun r -> if r <> s then Some (s, r) else None) correct)
       correct
   in
-  let choose_dropped () =
-    match adversary with
+  match adversary with
     | Random_omissions ->
         let pairs = Array.of_list correct_pairs in
         Util.Rng.shuffle rng pairs;
@@ -66,7 +53,45 @@ let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_
             end)
           (List.rev correct);
         !dropped
+    | Sigma_edge ->
+        (* the formula-structured adversary: spend the budget in units of
+           ⌈(n−t)/2⌉ drops against successive victims (the per-victim
+           term of σ), remainder against the next one. At budget σ this
+           blocks the quorums of exactly enough processes to sit on the
+           liveness bound; at σ−1 the last victim still advances. *)
+        let unit = (c + 1) / 2 in
+        let budget = ref omissions in
+        let dropped = ref [] in
+        List.iter
+          (fun v ->
+            if !budget > 0 then begin
+              let incoming = List.filter (fun s -> s <> v) correct in
+              let take = min (min unit !budget) (List.length incoming) in
+              List.iteri
+                (fun idx s -> if idx < take then dropped := (s, v) :: !dropped)
+                incoming;
+              budget := !budget - take
+            end)
+          correct;
+        !dropped
+
+let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_omissions)
+    ~omissions ~rounds ~seed () =
+  let rng = Util.Rng.create ~seed in
+  let cfg = { (Core.Proto.default_config ~n) with k; max_phases = 3 * rounds + 9 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:cfg.max_phases () in
+  let proposals = Runner.proposals dist ~n in
+  let machines =
+    Array.init n (fun i ->
+        let behavior =
+          if List.mem i byzantine then Core.Machine.Attacker else Core.Machine.Correct
+        in
+        Core.Machine.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+          ~proposal:proposals.(i) ())
   in
+  let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n (fun i -> i)) in
+  let is_correct i = not (List.mem i byzantine) in
+  let choose_dropped () = choose_dropped ~rng ~adversary ~correct ~omissions in
   let decided_round = Array.make n None in
   let rounds_to_k = ref None in
   let round = ref 0 in
@@ -121,3 +146,38 @@ let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_
     | Runner.Divergent -> true
   in
   { deciders; rounds_to_k = !rounds_to_k; agreement; validity }
+
+(* One synchronous round in isolation: who can still advance past phase
+   1? No phase-2 traffic exists inside a single round, so the adoption
+   rule cannot rescue a blocked victim — the probe measures exactly the
+   quorum arithmetic the σ bound is about. Faulty processes are silent
+   (the liveness bound's worst case). *)
+let single_round ~n ~k ?(byzantine = []) ?(adversary = Sigma_edge) ~omissions ~seed () =
+  let rng = Util.Rng.create ~seed in
+  let cfg = { (Core.Proto.default_config ~n) with k; max_phases = 30 } in
+  let keyrings = Core.Keyring.setup (Util.Rng.split rng) ~n ~phases:cfg.max_phases () in
+  let machines =
+    Array.init n (fun i ->
+        let behavior =
+          if List.mem i byzantine then Core.Machine.Byzantine Core.Strategy.silent
+          else Core.Machine.Correct
+        in
+        Core.Machine.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+          ~proposal:1 ())
+  in
+  let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n (fun i -> i)) in
+  let dropped = choose_dropped ~rng ~adversary ~correct ~omissions in
+  let is_dropped s r = List.mem (s, r) dropped in
+  let envelopes = Array.map (fun m -> Core.Machine.prepare m ~justify:true) machines in
+  Array.iteri
+    (fun s envelope ->
+      match envelope with
+      | None -> ()
+      | Some env ->
+          List.iter
+            (fun r ->
+              if r <> s && List.mem r correct && not (is_dropped s r) then
+                ignore (Core.Machine.handle machines.(r) env))
+            (List.init n (fun i -> i)))
+    envelopes;
+  List.length (List.filter (fun i -> Core.Machine.phase machines.(i) > 1) correct)

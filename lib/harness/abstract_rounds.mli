@@ -20,6 +20,11 @@ type adversary =
           n−k−t victims (isolating them costs (n−t−1) omissions each
           ... bounded by σ) and then starve one more process just below
           its quorum with the remaining budget *)
+  | Sigma_edge
+      (** the formula-structured adversary: ⌈(n−t)/2⌉ drops against each
+          successive victim (the per-victim term of σ), remainder to the
+          next — the pattern that makes the bound tight where the
+          blocking cost equals k−2 *)
 
 type outcome = {
   deciders : int;        (** correct processes decided at the horizon *)
@@ -45,3 +50,20 @@ val run :
   outcome
 (** Runs [rounds] synchronous rounds with exactly [omissions] suppressed
     transmissions per round (fewer when not that many exist). *)
+
+val single_round :
+  n:int ->
+  k:int ->
+  ?byzantine:int list ->
+  ?adversary:adversary ->
+  omissions:int ->
+  seed:int64 ->
+  unit ->
+  int
+(** One synchronous round in isolation, returning how many correct
+    processes advanced past phase 1. [byzantine] processes are silent
+    (the liveness bound's worst case); the default adversary is
+    {!Sigma_edge}. No cross-round adoption can rescue a blocked victim
+    here, so at (n,k,t) points where the blocking cost equals k−2 this
+    returns [< k] with [omissions = σ] and [>= k] with [σ − 1] — the σ
+    tightness check of the test suite. *)

@@ -1,0 +1,57 @@
+(** Randomized fault-injection harness.
+
+    Each run draws a plan from the master seed — value distribution,
+    Byzantine strategy (rotating through {!Core.Strategy.all}), and a
+    random {!Net.Schedule} of crashes, omission overlays, jamming and
+    delay bursts — executes it against Turquois and the Bracha/ABBA
+    baselines, and checks the consensus invariants:
+
+    - {b agreement}: no two correct processes decide differently;
+    - {b validity}: unanimous runs decide the proposed value;
+    - {b integrity}: each correct process decides at most once, on a
+      binary value;
+    - {b liveness}: only when the schedule is provably quiet after some
+      horizon ({!Net.Schedule.quiet_after}) and contains no crash
+      windows — then every correct process must decide.
+
+    On a violation the schedule is delta-debugged to a locally minimal
+    reproducer ({!Net.Schedule.shrink_candidates}) and reported with its
+    seed, so [chaos --seed S] replays it exactly. *)
+
+type bug =
+  | No_bug
+  | Flip_reported_decision
+      (** A deliberately broken machine (the lowest-id correct process
+          reports the flipped decision) — the harness's own negative
+          test: it must detect a violation against this. *)
+
+type failure = {
+  index : int;                  (** which run *)
+  seed : int64;                 (** the derived per-run seed *)
+  protocol : Runner.protocol;
+  strategy : string option;     (** Byzantine strategy on the air, if any *)
+  dist : Runner.dist;
+  schedule : Net.Schedule.t;    (** the full failing schedule *)
+  violations : string list;     (** human-readable invariant breaches *)
+  shrunk : Net.Schedule.t;      (** locally minimal still-failing schedule *)
+}
+
+type report = {
+  runs : int;
+  liveness_checked : int;  (** runs whose schedule allowed the liveness check *)
+  failures : failure list;
+}
+
+val run_chaos :
+  ?n:int ->
+  ?bug:bug ->
+  ?strategy:Core.Strategy.t ->
+  ?protocols:Runner.protocol list ->
+  ?log:(string -> unit) ->
+  runs:int ->
+  seed:int64 ->
+  unit ->
+  report
+(** [n] defaults to 4 (the smallest group with a Byzantine slot);
+    [strategy] pins every Byzantine run to one strategy instead of
+    rotating; [log] receives progress lines and failure reports. *)

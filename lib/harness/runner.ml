@@ -64,12 +64,15 @@ let clear_key_cache () =
 let start_time rng =
   Net.Mac.airtime_broadcast ~payload_bytes:29 +. Util.Rng.float rng 200.0e-6
 
-let run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed () =
+let run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach ~timeout
+    ~seed () =
   let engine = Net.Engine.create () in
   let rng = Util.Rng.create ~seed in
   let radio = Net.Radio.create engine (Util.Rng.split rng) ~n in
   Net.Fault.apply_conditions radio conditions;
   Net.Fault.apply_crashes radio ~n load;
+  (match schedule with None -> () | Some s -> Net.Schedule.apply radio s);
+  (match attach with None -> () | Some f -> f radio);
   let faulty = Net.Fault.faulty_set ~n load in
   let crashed = match load with Net.Fault.Fail_stop -> faulty | _ -> [] in
   let byzantine = match load with Net.Fault.Byzantine -> faulty | _ -> [] in
@@ -117,7 +120,11 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed () =
       Array.iteri
         (fun i node ->
           let behavior =
-            if List.mem i byzantine then Core.Turquois.Attacker else Core.Turquois.Correct
+            if List.mem i byzantine then
+              match strategy with
+              | Some s -> Core.Turquois.Byzantine s
+              | None -> Core.Turquois.Attacker
+            else Core.Turquois.Correct
           in
           let p =
             Core.Turquois.create node cfg ~keyring:keyrings.(i) ~behavior
@@ -188,11 +195,13 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed () =
     metrics = [];
   }
 
-let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions)
-    ?(timeout = 120.0) ~seed () =
+let run ~protocol ~n ~dist ~load ?(conditions = Net.Fault.benign_conditions) ?strategy
+    ?schedule ?attach ?(timeout = 120.0) ~seed () =
   (* each repetition starts from zeroed sinks: a leaked counter or
      stale trace from the previous run would poison its successor *)
   let result, metrics =
-    Obs.Scope.with_run (run_body ~protocol ~n ~dist ~load ~conditions ~timeout ~seed)
+    Obs.Scope.with_run
+      (run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach
+         ~timeout ~seed)
   in
   { result with metrics }

@@ -48,13 +48,20 @@ val run :
   dist:dist ->
   load:Net.Fault.load ->
   ?conditions:Net.Fault.conditions ->
+  ?strategy:Core.Strategy.t ->
+  ?schedule:Net.Schedule.t ->
+  ?attach:(Net.Radio.t -> unit) ->
   ?timeout:float ->
   seed:int64 ->
   unit ->
   result
 (** One consensus execution. [conditions] defaults to
-    {!Net.Fault.benign_conditions}; [timeout] to 120 simulated
-    seconds. *)
+    {!Net.Fault.benign_conditions}; [timeout] to 120 simulated seconds.
+    With [strategy], Turquois's Byzantine processes run that strategy
+    instead of the legacy §7.2 [Attacker] (baseline protocols keep their
+    own attacker). [schedule] arms a declarative fault timeline on the
+    radio before the run; [attach] is a last-resort hook for installing
+    custom radio-level adversaries (e.g. {!Net.Fault.sigma_edge}). *)
 
 val clear_key_cache : unit -> unit
 (** Drops the cached key material (for tests that need fresh keys). *)

@@ -53,6 +53,7 @@ let sigma_sweep ~n ~k ?(byzantine = []) ?(dist = Runner.Divergent) ?(rounds = 12
 let adversary_to_string = function
   | Abstract_rounds.Random_omissions -> "random"
   | Abstract_rounds.Target_victims -> "targeted"
+  | Abstract_rounds.Sigma_edge -> "sigma-edge"
 
 let render_sigma ~n ~k ~t rows =
   let bound = Abstract_rounds.sigma ~n ~k ~t in

@@ -14,7 +14,11 @@ let faulty_set ~n load =
       let f = max_f n in
       List.init f (fun i -> n - 1 - i)
 
-let is_faulty ~n load i = List.mem i (faulty_set ~n load)
+(* the faulty ids are exactly the top f, so membership is arithmetic *)
+let is_faulty ~n load i =
+  match load with
+  | Failure_free -> false
+  | Fail_stop | Byzantine -> i >= n - max_f n
 
 type conditions = { loss_prob : float; jam_windows : (float * float) list }
 
@@ -31,13 +35,91 @@ let apply_conditions radio conditions =
       Radio.jam radio ~from ~until)
     conditions.jam_windows
 
-let apply_crashes radio ~n load =
+let crash radio i =
+  Obs.Metrics.incr "fault.crashed";
+  Obs.Trace2.emit ~time:(Engine.now (Radio.engine radio)) ~node:i ~layer:"fault"
+    ~label:"crash" [];
+  Radio.set_down radio i true
+
+let recover radio i =
+  Obs.Metrics.incr "fault.recovered";
+  Obs.Trace2.emit ~time:(Engine.now (Radio.engine radio)) ~node:i ~layer:"fault"
+    ~label:"recover" [];
+  Radio.set_down radio i false
+
+let apply_crashes ?(at = fun _ -> 0.0) radio ~n load =
   match load with
   | Fail_stop ->
       List.iter
         (fun i ->
-          Obs.Metrics.incr "fault.crashed";
-          Obs.Trace2.emit ~time:0.0 ~node:i ~layer:"fault" ~label:"crash" [];
-          Radio.set_down radio i true)
+          let time = at i in
+          if time <= 0.0 then crash radio i
+          else ignore (Engine.at (Radio.engine radio) ~time (fun () -> crash radio i)))
         (faulty_set ~n load)
   | Failure_free | Byzantine -> ()
+
+(* --- adaptive sigma-edge omission adversary ------------------------------- *)
+
+(* Mirror of [Core.Proto.sigma] — the net library sits below core, so
+   the arithmetic is restated here:
+   sigma = ceil((n-t)/2) * (n-k-t) + k - 2. *)
+let sigma ~n ~k ~t = (((n - t + 1) / 2) * (n - k - t)) + k - 2
+
+type sigma_edge = {
+  se_victims : int array;
+  se_budget_per_round : int;
+  se_round : float;
+  mutable se_current_round : int;
+  mutable se_left : int;
+  mutable se_drops : int;
+}
+
+let sigma_edge_drops a = a.se_drops
+
+let sigma_edge radio ~n ~k ~t ?(round = 10.0e-3) ?(margin = 0) ?victims () =
+  if round <= 0.0 then invalid_arg "Fault.sigma_edge: bad round";
+  let bound = max 0 (sigma ~n ~k ~t + margin) in
+  let victims =
+    match victims with
+    | Some v -> Array.of_list v
+    | None ->
+        (* starve the low ids: the high ids are the conventional faulty
+           set, so these victims are correct processes whose silence the
+           k-of-n termination rule can least afford *)
+        Array.init (min n (n - k - t + 1)) (fun i -> i)
+  in
+  let a =
+    {
+      se_victims = victims;
+      se_budget_per_round = bound;
+      se_round = round;
+      se_current_round = -1;
+      se_left = 0;
+      se_drops = 0;
+    }
+  in
+  Radio.set_filter radio
+    (Some
+       (fun ~now ~tx:_ ~rx ->
+         let round_no = int_of_float (now /. a.se_round) in
+         if round_no <> a.se_current_round then begin
+           a.se_current_round <- round_no;
+           a.se_left <- a.se_budget_per_round
+         end;
+         if a.se_left > 0 && Array.exists (( = ) rx) a.se_victims then begin
+           a.se_left <- a.se_left - 1;
+           a.se_drops <- a.se_drops + 1;
+           Obs.Metrics.incr "fault.sigma_edge_drops";
+           true
+         end
+         else false));
+  Obs.Trace2.emit ~time:(Engine.now (Radio.engine radio)) ~node:(-1) ~layer:"fault"
+    ~label:"sigma_edge"
+    [
+      ("budget", Obs.Trace2.I bound);
+      ("round_s", Obs.Trace2.F round);
+      ( "victims",
+        Obs.Trace2.S
+          (String.concat "," (Array.to_list (Array.map string_of_int victims))) );
+    ];
+  a

@@ -1,8 +1,10 @@
-(** Fault-load definitions matching the paper's evaluation (§7.2).
+(** Fault-load definitions matching the paper's evaluation (§7.2), plus
+    the adaptive omission adversary.
 
     The fault load picks which processes misbehave and how; the network
     conditions add the dynamic omission faults of the communication
-    failure model. *)
+    failure model. Richer, time-varying fault timelines are expressed
+    with {!Schedule} and applied on top of these static knobs. *)
 
 type load =
   | Failure_free
@@ -26,6 +28,8 @@ val faulty_set : n:int -> load -> int list
     Empty for [Failure_free]. *)
 
 val is_faulty : n:int -> load -> int -> bool
+(** Constant-time membership test for {!faulty_set} (the faulty ids are
+    exactly the top [max_f n]). *)
 
 type conditions = {
   loss_prob : float;            (** iid per-receiver omission probability *)
@@ -38,5 +42,43 @@ val benign_conditions : conditions
 
 val apply_conditions : Radio.t -> conditions -> unit
 
-val apply_crashes : Radio.t -> n:int -> load -> unit
-(** Marks the faulty set down for [Fail_stop]; no-op otherwise. *)
+val crash : Radio.t -> int -> unit
+(** Marks a node down now, with the [fault]/[crash] trace event and
+    metric. *)
+
+val recover : Radio.t -> int -> unit
+(** Brings a crashed node back up, with the [fault]/[recover] trace
+    event and metric. *)
+
+val apply_crashes : ?at:(int -> float) -> Radio.t -> n:int -> load -> unit
+(** Crashes the faulty set for [Fail_stop]; no-op otherwise. [at i]
+    gives the crash time of process [i] (default 0, i.e. before the run
+    starts); strictly positive times are scheduled on the radio's
+    engine, so processes can fail mid-run. *)
+
+(** {2 Adaptive sigma-edge adversary}
+
+    An omission adversary that, instead of dropping frames at an iid
+    rate, spends a per-round budget of exactly
+    σ = ⌈(n−t)/2⌉(n−k−t)+k−2 (+ [margin]) drops on a fixed victim set —
+    the worst-case schedule of the Section 5 liveness analysis, applied
+    online to the simulated radio via {!Radio.set_filter}. *)
+
+val sigma : n:int -> k:int -> t:int -> int
+(** The liveness bound (arithmetic mirror of [Core.Proto.sigma]; the
+    net library sits below core). *)
+
+type sigma_edge
+
+val sigma_edge :
+  Radio.t -> n:int -> k:int -> t:int -> ?round:float -> ?margin:int ->
+  ?victims:int list -> unit -> sigma_edge
+(** Installs the adversary's drop filter on the radio. [round] is the
+    budget-replenish interval (default the 10 ms protocol tick);
+    [margin] is added to σ (default 0 — sit exactly at the bound);
+    [victims] defaults to the n−k−t+1 lowest ids, i.e. the paper's
+    "silence whole victims, then starve one more" pattern among the
+    conventionally correct processes. *)
+
+val sigma_edge_drops : sigma_edge -> int
+(** Frames suppressed so far. *)

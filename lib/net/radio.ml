@@ -21,6 +21,10 @@ type t = {
   n : int;
   down : bool array;
   mutable loss_prob : float;
+  rx_loss : float array;                  (* per-receiver omission overlay *)
+  link_loss : (int * int, float) Hashtbl.t;  (* (tx, rx) omission overlay *)
+  rx_delay : float array;                 (* extra delivery latency per receiver *)
+  mutable filter : (now:float -> tx:int -> rx:int -> bool) option;
   mutable jam_windows : (float * float) list;
   mutable ongoing : transmission list;
   mutable busy_end : float;  (* end of latest transmission ever started *)
@@ -36,6 +40,10 @@ let create engine rng ~n =
     n;
     down = Array.make n false;
     loss_prob = 0.0;
+    rx_loss = Array.make n 0.0;
+    link_loss = Hashtbl.create 16;
+    rx_delay = Array.make n 0.0;
+    filter = None;
     jam_windows = [];
     ongoing = [];
     busy_end = 0.0;
@@ -53,12 +61,37 @@ let create engine rng ~n =
       };
   }
 
+let check_prob name p = if p < 0.0 || p > 1.0 then invalid_arg name
+
 let set_loss_prob t p =
-  if p < 0.0 || p > 1.0 then invalid_arg "Radio.set_loss_prob";
+  check_prob "Radio.set_loss_prob" p;
   t.loss_prob <- p
 
-let set_down t i v = t.down.(i) <- v
+let set_rx_loss t ~rx p =
+  check_prob "Radio.set_rx_loss" p;
+  t.rx_loss.(rx) <- p
+
+let set_link_loss t ~tx ~rx p =
+  check_prob "Radio.set_link_loss" p;
+  if p = 0.0 then Hashtbl.remove t.link_loss (tx, rx)
+  else Hashtbl.replace t.link_loss (tx, rx) p
+
+let set_rx_delay t ~rx d =
+  if d < 0.0 then invalid_arg "Radio.set_rx_delay";
+  t.rx_delay.(rx) <- d
+
+let set_filter t f = t.filter <- f
+
+let set_down t i v =
+  if t.down.(i) <> v then begin
+    t.down.(i) <- v;
+    Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:i ~layer:"radio"
+      ~label:(if v then "down" else "up") []
+  end
+
 let is_down t i = t.down.(i)
+let engine t = t.engine
+let size t = t.n
 let jam t ~from ~until = t.jam_windows <- (from, until) :: t.jam_windows
 let on_receive t f = t.receive <- Some f
 let busy_until t = t.busy_end
@@ -136,19 +169,41 @@ let transmit t ?(kind = "data") ~sender ~duration frame =
              | Some deliver ->
                  for receiver = 0 to t.n - 1 do
                    if receiver <> sender && not t.down.(receiver) then begin
-                     if Util.Rng.bernoulli t.rng t.loss_prob then begin
+                     let now = Engine.now t.engine in
+                     let omit_stochastic () =
+                       (* independent overlays: global, per-receiver, per-link *)
+                       Util.Rng.bernoulli t.rng t.loss_prob
+                       || (t.rx_loss.(receiver) > 0.0
+                          && Util.Rng.bernoulli t.rng t.rx_loss.(receiver))
+                       ||
+                       match Hashtbl.find_opt t.link_loss (sender, receiver) with
+                       | Some p -> Util.Rng.bernoulli t.rng p
+                       | None -> false
+                     in
+                     let omit_filter () =
+                       match t.filter with
+                       | Some f -> f ~now ~tx:sender ~rx:receiver
+                       | None -> false
+                     in
+                     if omit_stochastic () || omit_filter () then begin
                        t.stats.losses <- t.stats.losses + 1;
                        Obs.Metrics.incr "radio.omissions";
                        Obs.Metrics.incr "radio.omission_by_rx"
                          ~labels:[ ("rx", "p" ^ string_of_int receiver) ];
-                       Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:sender
+                       Obs.Trace2.emit ~time:now ~node:sender
                          ~layer:"radio" ~label:"omission"
                          [ ("rx", Obs.Trace2.I receiver) ]
                      end
                      else begin
                        t.stats.frames_delivered <- t.stats.frames_delivered + 1;
                        Obs.Metrics.incr "radio.delivered";
-                       deliver receiver ~sender frame
+                       let extra = t.rx_delay.(receiver) in
+                       if extra > 0.0 then
+                         ignore
+                           (Engine.schedule t.engine ~delay:extra (fun () ->
+                                if not t.down.(receiver) then
+                                  deliver receiver ~sender frame))
+                       else deliver receiver ~sender frame
                      end
                    end
                  done

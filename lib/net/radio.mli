@@ -29,10 +29,40 @@ val set_loss_prob : t -> float -> unit
 (** Probability that a given receiver independently misses a given
     (otherwise successful) frame. Default 0. *)
 
+val set_rx_loss : t -> rx:int -> float -> unit
+(** Additional, independent per-receiver omission probability layered on
+    top of the global one (targeted interference near one station).
+    Default 0. *)
+
+val set_link_loss : t -> tx:int -> rx:int -> float -> unit
+(** Additional, independent omission probability for one directed
+    (sender, receiver) link. 0 removes the overlay. *)
+
+val set_rx_delay : t -> rx:int -> float -> unit
+(** Extra delivery latency (seconds) for frames arriving at [rx] —
+    models a station whose reception path is momentarily slow; varying
+    it across receivers reorders deliveries. Default 0. *)
+
+val set_filter : t -> (now:float -> tx:int -> rx:int -> bool) option -> unit
+(** Installs (or clears) an adversarial drop predicate consulted for
+    every otherwise-successful delivery; returning [true] suppresses the
+    frame for that receiver. This is the hook adaptive omission
+    adversaries (e.g. {!Fault.sigma_edge}) use to pick their victims
+    online. The stochastic overlays are sampled first; the filter is
+    consulted only for frames they let through. *)
+
 val set_down : t -> int -> bool -> unit
-(** Crashed nodes neither transmit nor receive. *)
+(** Crashed nodes neither transmit nor receive. Emits a ["radio"]/
+    ["down"] (resp. ["up"]) {!Obs.Trace2} event on every state change,
+    so crash and recovery are both visible in exported traces. *)
 
 val is_down : t -> int -> bool
+
+val engine : t -> Engine.t
+(** The engine this radio schedules on (for fault injectors). *)
+
+val size : t -> int
+(** Number of stations [n]. *)
 
 val jam : t -> from:float -> until:float -> unit
 (** Adds a jamming window in absolute simulation time. *)

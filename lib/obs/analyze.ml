@@ -209,6 +209,111 @@ let timeline ~n entries decides =
   end;
   Buffer.contents buf
 
+(* --- injected-fault attribution ------------------------------------------- *)
+
+(* Everything the fault-injection layer emits — Fault.crash/recover,
+   Schedule.apply actions, jam windows, the sigma-edge adversary — lands
+   on the "fault" trace layer, so stall windows can be attributed to the
+   faults that overlap them. *)
+
+let describe_fault (e : Trace2.event) =
+  let f = e.fields in
+  let node = match field_int f "node" with Some i -> i | None -> e.node in
+  let pct key = 100.0 *. Option.value ~default:0.0 (field_float f key) in
+  let tag =
+    match e.label with
+    | "crash" -> Printf.sprintf "crash p%d" node
+    | "recover" -> Printf.sprintf "recover p%d" node
+    | "set_loss" -> Printf.sprintf "loss=%.0f%%" (pct "p")
+    | "set_rx_loss" ->
+        Printf.sprintf "rx-loss p%d=%.0f%%"
+          (Option.value ~default:(-1) (field_int f "rx"))
+          (pct "p")
+    | "set_link_loss" ->
+        Printf.sprintf "link-loss p%d->p%d=%.0f%%"
+          (Option.value ~default:(-1) (field_int f "tx"))
+          (Option.value ~default:(-1) (field_int f "rx"))
+          (pct "p")
+    | "jam" | "jam_window" -> "jamming"
+    | "jam_rx" ->
+        Printf.sprintf "jam p%d" (Option.value ~default:(-1) (field_int f "rx"))
+    | "rx_delay" ->
+        Printf.sprintf "rx-delay p%d"
+          (Option.value ~default:(-1) (field_int f "rx"))
+    | "sigma_edge" ->
+        Printf.sprintf "sigma-edge adversary (%d drops/round on p{%s})"
+          (Option.value ~default:0 (field_int f "budget"))
+          (Option.value ~default:"?" (field_str f "victims"))
+    | l -> l
+  in
+  Printf.sprintf "%s @%.1fms" tag (e.time *. 1000.0)
+
+let fault_events events = List.filter (fun e -> e.Trace2.layer = "fault") events
+
+let faults_in faults ~from ~until =
+  List.filter (fun e -> e.Trace2.time >= from && e.Trace2.time < until) faults
+  |> List.map describe_fault
+
+(* Injected faults from before [time] that are still in force at [time]:
+   the latest non-zero loss overlays, unrecovered crashes, jamming or
+   delay windows reaching past [time], and any installed sigma-edge
+   filter (filters are never uninstalled). *)
+let active_faults_at faults ~time =
+  let before = List.filter (fun e -> e.Trace2.time < time) faults in
+  let latest label key =
+    (* last event with this label, keyed by an int field (or -1) *)
+    List.fold_left
+      (fun acc e ->
+        if e.Trace2.label = label then
+          let k = Option.value ~default:(-1) (field_int e.fields key) in
+          (k, e) :: List.remove_assoc k acc
+        else acc)
+      [] before
+  in
+  let nonzero (_, e) = Option.value ~default:0.0 (field_float e.Trace2.fields "p") > 0.0 in
+  let losses = List.filter nonzero (latest "set_loss" "none") in
+  let rx_losses = List.filter nonzero (latest "set_rx_loss" "rx") in
+  let link_losses =
+    (* keyed per (tx, rx); fold manually since `latest` keys on one field *)
+    List.fold_left
+      (fun acc e ->
+        if e.Trace2.label = "set_link_loss" then
+          let k =
+            ( Option.value ~default:(-1) (field_int e.fields "tx"),
+              Option.value ~default:(-1) (field_int e.fields "rx") )
+          in
+          (k, e) :: List.remove_assoc k acc
+        else acc)
+      [] before
+    |> List.filter (fun (_, e) ->
+           Option.value ~default:0.0 (field_float e.Trace2.fields "p") > 0.0)
+  in
+  let crashes =
+    List.fold_left
+      (fun acc e ->
+        let node =
+          match field_int e.Trace2.fields "node" with Some i -> i | None -> e.Trace2.node
+        in
+        match e.Trace2.label with
+        | "crash" -> (node, e) :: List.remove_assoc node acc
+        | "recover" -> List.remove_assoc node acc
+        | _ -> acc)
+      [] before
+  in
+  let windows =
+    List.filter
+      (fun e ->
+        (e.Trace2.label = "jam" || e.Trace2.label = "jam_window"
+        || e.Trace2.label = "jam_rx" || e.Trace2.label = "rx_delay")
+        && Option.value ~default:0.0 (field_float e.Trace2.fields "until") > time)
+      before
+  in
+  let adversaries = List.filter (fun e -> e.Trace2.label = "sigma_edge") before in
+  let snd_events l = List.map (fun (_, e) -> e) l in
+  List.map describe_fault
+    (snd_events losses @ snd_events rx_losses @ snd_events link_losses
+   @ snd_events crashes @ windows @ adversaries)
+
 (* --- stall report --------------------------------------------------------- *)
 
 let omissions_in events ~from ~until =
@@ -263,7 +368,8 @@ let stall_report ~n ~k ~t ~tick events entries =
           let per_round = float_of_int om /. float_of_int rounds in
           let exceeds = per_round > float_of_int bound in
           let stall = dur > 3.0 *. median && dur > 2.0 *. tick in
-          if exceeds || stall then stalled := (p, dur, om, per_round, exceeds) :: !stalled;
+          if exceeds || stall then
+            stalled := (p, t0, t1, dur, om, per_round, exceeds) :: !stalled;
           [
             string_of_int p;
             Printf.sprintf "%.1f" (t0 *. 1000.0);
@@ -287,8 +393,9 @@ let stall_report ~n ~k ~t ~tick events entries =
               every window\n"
              bound)
     | stalls ->
+        let faults = fault_events events in
         List.iter
-          (fun (p, dur, om, per_round, exceeds) ->
+          (fun (p, t0, t1, dur, om, per_round, exceeds) ->
             Buffer.add_string buf
               (if exceeds then
                  Printf.sprintf
@@ -299,7 +406,22 @@ let stall_report ~n ~k ~t ~tick events entries =
                  Printf.sprintf
                    "  phase %d stalled for %.1f ms (>3x the %.1f ms median window) with %d \
                     omissions (%.1f/round, sigma = %d): slow but within the liveness bound\n"
-                   p (dur *. 1000.0) (median *. 1000.0) om per_round bound))
+                   p (dur *. 1000.0) (median *. 1000.0) om per_round bound);
+            let active = active_faults_at faults ~time:t0 in
+            let injected = faults_in faults ~from:t0 ~until:t1 in
+            if active = [] && injected = [] then
+              Buffer.add_string buf
+                "    no injected faults overlap this window (ambient loss / collisions)\n"
+            else begin
+              if active <> [] then
+                Buffer.add_string buf
+                  ("    injected faults in force at window start: "
+                  ^ String.concat "; " active ^ "\n");
+              if injected <> [] then
+                Buffer.add_string buf
+                  ("    injected during the window: " ^ String.concat "; " injected
+                 ^ "\n")
+            end)
           stalls);
     Buffer.contents buf
   end

@@ -182,10 +182,20 @@ let test_keyring_out_of_range () =
 let test_vset_add_dedup () =
   let v = Core.Vset.create ~n:4 in
   Alcotest.(check bool) "first" true (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ()));
-  Alcotest.(check bool) "dup" false (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V0 ()));
+  Alcotest.(check bool) "same value dup" false
+    (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V1 ()));
+  (* a differently-valued copy from the same (sender, phase) is an
+     equivocation: retained as an extra, counted for its value too *)
+  Alcotest.(check bool) "equivocated copy" true
+    (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V0 ()));
+  Alcotest.(check bool) "equivocated dup" false
+    (Core.Vset.add v (mk_msg ~sender:0 ~phase:1 ~value:P.V0 ()));
+  Alcotest.(check int) "still one distinct sender" 1 (Core.Vset.count_phase v ~phase:1);
+  Alcotest.(check int) "supports V0" 1 (Core.Vset.count_value v ~phase:1 ~value:P.V0);
+  Alcotest.(check int) "supports V1" 1 (Core.Vset.count_value v ~phase:1 ~value:P.V1);
   Alcotest.(check bool) "other phase" true (Core.Vset.add v (mk_msg ~sender:0 ~phase:2 ()));
   Alcotest.(check bool) "out of range" false (Core.Vset.add v (mk_msg ~sender:7 ~phase:1 ()));
-  Alcotest.(check int) "size" 2 (Core.Vset.size v)
+  Alcotest.(check int) "size" 3 (Core.Vset.size v)
 
 let test_vset_counts () =
   let v = Core.Vset.create ~n:5 in

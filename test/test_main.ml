@@ -20,4 +20,5 @@ let () =
       Test_misc_units.suite;
       Test_ordered_log.suite;
       Test_harness.suite;
+      Test_chaos.suite;
     ]

@@ -252,21 +252,46 @@ let qcheck_vset_count_consistency =
                  proof = Bytes.empty;
                }))
         entries;
-      (* per-phase: count_phase = sum of per-value counts = |messages_at| *)
+      (* reference model: per (sender, phase), the set of distinct values
+         stored (Vset keeps one copy per value — equivocated extras) *)
+      let model : (int * int, Core.Proto.value list) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (sender, phase, value) ->
+          let value = Core.Proto.value_of_int value in
+          let seen = Option.value ~default:[] (Hashtbl.find_opt model (sender, phase)) in
+          if not (List.exists (Core.Proto.value_equal value) seen) then
+            Hashtbl.replace model (sender, phase) (value :: seen))
+        entries;
+      let senders_at phase =
+        List.filter (fun s -> Hashtbl.mem model (s, phase)) (List.init 5 (fun s -> s))
+      in
+      let copies_at phase =
+        List.fold_left
+          (fun acc s ->
+            acc + List.length (Option.value ~default:[] (Hashtbl.find_opt model (s, phase))))
+          0 (senders_at phase)
+      in
       List.for_all
         (fun phase ->
-          let by_value =
-            List.fold_left
-              (fun acc value -> acc + Core.Vset.count_value v ~phase ~value)
-              0
-              [ Core.Proto.V0; Core.Proto.V1; Core.Proto.Vbot ]
-          in
-          Core.Vset.count_phase v ~phase = by_value
-          && by_value = List.length (Core.Vset.messages_at v ~phase))
+          (* count_phase counts distinct senders; count_value counts
+             senders with any copy of that value; messages_at returns
+             every stored copy *)
+          Core.Vset.count_phase v ~phase = List.length (senders_at phase)
+          && List.length (Core.Vset.messages_at v ~phase) = copies_at phase
+          && List.for_all
+               (fun value ->
+                 Core.Vset.count_value v ~phase ~value
+                 = List.length
+                     (List.filter
+                        (fun s ->
+                          List.exists (Core.Proto.value_equal value)
+                            (Option.value ~default:[] (Hashtbl.find_opt model (s, phase))))
+                        (senders_at phase)))
+               [ Core.Proto.V0; Core.Proto.V1; Core.Proto.Vbot ])
         (List.init 9 (fun i -> i + 1))
       && Core.Vset.size v
          = List.fold_left
-             (fun acc phase -> acc + Core.Vset.count_phase v ~phase)
+             (fun acc phase -> acc + copies_at phase)
              0
              (List.init 9 (fun i -> i + 1)))
 
