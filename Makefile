@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench chaos clean
+.PHONY: all build test fmt check bench bench-json pool-smoke chaos clean
 
 all: build
 
@@ -20,12 +20,21 @@ chaos:
 	dune exec bin/turquois_lab.exe -- chaos --runs 3 --seed 7 --broken-machine --quiet > /dev/null 2>&1; \
 	  test $$? -eq 1 || { echo "chaos self-test failed: planted bug not detected"; exit 1; }
 
+# pool smoke: a tiny sweep at -j 2 — catches domain-unsafe global state
+# that the (mostly -j 1) unit tests would miss
+pool-smoke:
+	dune exec bin/turquois_lab.exe -- sigma --size 4 --runs 2 --rounds 40 -j 2 > /dev/null
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
-# and the chaos smoke sweep
-check: fmt build test chaos
+# the chaos smoke sweep and the parallel-pool smoke
+check: fmt build test chaos pool-smoke
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+# regenerate the committed pool wall-clock baseline
+bench-json:
+	dune exec bench/main.exe -- --pool-baseline BENCH_pr3.json
 
 clean:
 	dune clean

@@ -26,6 +26,8 @@ let phases = ref true
 let micro = ref true
 let seed = ref 1000L
 let json_out = ref None
+let jobs = ref (Harness.Pool.default_jobs ())
+let pool_baseline = ref None
 
 let speclist =
   [
@@ -68,6 +70,17 @@ let speclist =
     ( "--json",
       Arg.String (fun f -> json_out := Some f),
       "FILE write a machine-readable summary (table cells + per-load metrics) to FILE" );
+    ( "-j",
+      Arg.Set_int jobs,
+      "N worker domains for independent runs (default: cores minus one); results \
+       are bit-identical for every N" );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N same as -j" );
+    ( "--pool-baseline",
+      Arg.String (fun f -> pool_baseline := Some f),
+      "FILE time a fixed grid sequentially and at -j N, write the comparison to \
+       FILE, and run nothing else" );
   ]
 
 let banner title =
@@ -84,6 +97,7 @@ let run_tables () =
       group_sizes = !sizes;
       base_seed = !seed;
       progress = Some (fun line -> Printf.eprintf "  [%s]\n%!" line);
+      jobs = Some !jobs;
     }
   in
   List.map
@@ -326,7 +340,7 @@ let run_sigma () =
       let k = n - Net.Fault.max_f n in
       let rows =
         Harness.Sweeps.sigma_sweep ~n ~k ~byzantine:byz ~runs_per_point:8 ~rounds:90
-          ~beyond:3 ~base_seed:!seed ()
+          ~beyond:3 ~base_seed:!seed ~jobs:!jobs ()
       in
       print_string (Harness.Sweeps.render_sigma ~n ~k ~t rows);
       print_newline ())
@@ -337,7 +351,7 @@ let run_sigma () =
 let run_phases () =
   banner "Decision phases (paper 7.3): unanimous vs divergent";
   let rows =
-    Harness.Sweeps.phase_distribution ~n:10 ~reps:20 ~base_seed:!seed
+    Harness.Sweeps.phase_distribution ~n:10 ~reps:20 ~base_seed:!seed ~jobs:!jobs
       ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
   in
   print_string (Harness.Sweeps.render_phases ~n:10 rows);
@@ -347,9 +361,89 @@ let run_phases () =
 
 let run_ablations () =
   banner "Ablations: the design choices DESIGN.md calls out";
-  let rows = Harness.Sweeps.ablations ~n:10 ~reps:10 ~base_seed:!seed () in
+  let rows = Harness.Sweeps.ablations ~n:10 ~reps:10 ~base_seed:!seed ~jobs:!jobs () in
   print_string (Harness.Sweeps.render_ablations ~n:10 rows);
   print_newline ()
+
+(* --- pool baseline ---------------------------------------------------------- *)
+
+(* Wall-clock of one fixed grid, sequential vs -j N, as a committed
+   baseline for the run pool. The grid is the σ sweep at n=8 plus one
+   Table-1 cell — enough independent tasks (pool task = grid point /
+   repetition) for domains to matter on multi-core hosts. The row lists
+   and merged metrics are asserted identical across the two runs, so
+   the baseline doubles as an end-to-end determinism check. *)
+let run_pool_baseline file =
+  banner (Printf.sprintf "Pool baseline: sequential vs -j %d wall clock" !jobs);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let n = 8 in
+  let k = n - Net.Fault.max_f n in
+  let sweep j () =
+    Harness.Sweeps.sigma_sweep_merged ~n ~k ~runs_per_point:8 ~rounds:90 ~beyond:3
+      ~base_seed:!seed ~jobs:j ()
+  in
+  let cell j () =
+    Harness.Experiment.run_cell ~reps:12 ~base_seed:!seed ~jobs:j
+      {
+        Harness.Experiment.protocol = Harness.Runner.Turquois;
+        n = 7;
+        dist = Harness.Runner.Divergent;
+        load = Net.Fault.Failure_free;
+      }
+  in
+  (* warm the per-domain signature key caches so the first timed run
+     does not pay one-time key generation *)
+  ignore (cell 1 ());
+  let (rows_seq, metrics_seq), sweep_seq_s = time (sweep 1) in
+  let (rows_par, metrics_par), sweep_par_s = time (sweep !jobs) in
+  let cell_seq, cell_seq_s = time (cell 1) in
+  let cell_par, cell_par_s = time (cell !jobs) in
+  let identical =
+    rows_seq = rows_par && metrics_seq = metrics_par
+    && cell_seq.Harness.Experiment.summary = cell_par.Harness.Experiment.summary
+  in
+  if not identical then failwith "pool baseline: -j 1 and -j N results differ";
+  let section name seq par =
+    Obs.Json.Obj
+      [
+        ("grid", Obs.Json.String name);
+        ("sequential_s", Obs.Json.Float seq);
+        ("parallel_s", Obs.Json.Float par);
+        ("speedup", Obs.Json.Float (if par > 0.0 then seq /. par else 0.0));
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "pool-baseline");
+        ("jobs", Obs.Json.Int !jobs);
+        ( "recommended_domains",
+          Obs.Json.Int (Domain.recommended_domain_count ()) );
+        ("seed", Obs.Json.String (Int64.to_string !seed));
+        ("identical_results", Obs.Json.Bool identical);
+        ( "sections",
+          Obs.Json.List
+            [
+              section
+                (Printf.sprintf "sigma-sweep n=%d 8 runs/point 90 rounds" n)
+                sweep_seq_s sweep_par_s;
+              section "table1 turquois n=7 divergent 12 reps" cell_seq_s cell_par_s;
+            ] );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "sigma sweep: %.2f s sequential, %.2f s at -j %d\n\
+     table cell:  %.2f s sequential, %.2f s at -j %d\n\
+     results identical across jobs: %b\nwrote %s\n"
+    sweep_seq_s sweep_par_s !jobs cell_seq_s cell_par_s !jobs identical file
 
 (* --- section 4: bechamel --------------------------------------------------- *)
 
@@ -448,6 +542,11 @@ let () =
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "bench/main.exe [options]";
+  match !pool_baseline with
+  | Some file ->
+      run_pool_baseline file;
+      print_endline "benchmark complete."
+  | None ->
   let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
   let adversary_results = if !adversary then run_adversary () else [] in

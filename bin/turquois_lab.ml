@@ -18,7 +18,7 @@ let load_of_table = function
   | 3 -> Net.Fault.Byzantine
   | t -> invalid_arg (Printf.sprintf "no table %d (1, 2 or 3)" t)
 
-let run_tables tables reps sizes seed timeout compare quiet =
+let run_tables tables reps sizes seed timeout compare quiet jobs =
   let options =
     {
       Harness.Experiment.default_options with
@@ -27,6 +27,7 @@ let run_tables tables reps sizes seed timeout compare quiet =
       base_seed = seed;
       timeout;
       progress = (if quiet then None else Some progress);
+      jobs = Some jobs;
     }
   in
   List.iter
@@ -70,25 +71,32 @@ let quiet_arg =
   let doc = "Suppress per-cell progress on stderr." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for independent runs (default: available cores minus one). \
+     Results are bit-identical for every value."
+  in
+  Arg.(value & opt int (Harness.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let tables_cmd =
-  let make tables reps sizes seed timeout compare quiet =
+  let make tables reps sizes seed timeout compare quiet jobs =
     let tables = match tables with [] -> [ 1; 2; 3 ] | l -> l in
-    run_tables tables reps sizes seed timeout compare quiet
+    run_tables tables reps sizes seed timeout compare quiet jobs
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's latency tables (Tables 1-3)")
     Term.(
       const make $ tables_arg $ reps_arg 50 $ sizes_arg $ seed_arg $ timeout_arg
-      $ compare_arg $ quiet_arg)
+      $ compare_arg $ quiet_arg $ jobs_arg)
 
 (* --- sigma ---------------------------------------------------------------- *)
 
-let run_sigma n k byz runs rounds beyond seed =
+let run_sigma n k byz runs rounds beyond seed jobs =
   let k = match k with Some k -> k | None -> n - Net.Fault.max_f n in
   let byzantine = List.init byz (fun i -> n - 1 - i) in
   let rows =
     Harness.Sweeps.sigma_sweep ~n ~k ~byzantine ~runs_per_point:runs ~rounds ~beyond
-      ~base_seed:seed ()
+      ~base_seed:seed ~jobs ()
   in
   print_string (Harness.Sweeps.render_sigma ~n ~k ~t:(List.length byzantine) rows);
   0
@@ -114,13 +122,15 @@ let sigma_cmd =
   in
   Cmd.v
     (Cmd.info "sigma" ~doc:"Sweep omissions per round around the sigma liveness bound")
-    Term.(const run_sigma $ n_arg $ k_arg $ byz_arg $ runs_arg $ rounds_arg $ beyond_arg $ seed_arg)
+    Term.(
+      const run_sigma $ n_arg $ k_arg $ byz_arg $ runs_arg $ rounds_arg $ beyond_arg
+      $ seed_arg $ jobs_arg)
 
 (* --- phases ---------------------------------------------------------------- *)
 
-let run_phases n reps seed =
+let run_phases n reps seed jobs =
   let rows =
-    Harness.Sweeps.phase_distribution ~n ~reps ~base_seed:seed
+    Harness.Sweeps.phase_distribution ~n ~reps ~base_seed:seed ~jobs
       ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
   in
   print_string (Harness.Sweeps.render_phases ~n rows);
@@ -130,7 +140,7 @@ let phases_cmd =
   let n_arg = Arg.(value & opt int 10 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
   Cmd.v
     (Cmd.info "phases" ~doc:"Turquois decision-phase distributions (paper 7.3)")
-    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg)
+    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg $ jobs_arg)
 
 (* --- messages ---------------------------------------------------------------- *)
 
@@ -195,9 +205,13 @@ let load_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
 
-let run_single protocol n divergent load seed loss trace metrics trace_json =
+let run_single protocol n divergent load seed loss trace metrics trace_json jobs =
   let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
   let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
+  (* trace buffers are domain-local, so a meaningful event order only
+     exists on one domain: tracing forces -j 1 *)
+  if (trace || trace_json <> None) && jobs <> 1 then
+    Printf.eprintf "  tracing active: forcing -j 1 (trace buffers are domain-local)\n%!";
   if trace || trace_json <> None then Net.Trace.start ();
   let result =
     Harness.Runner.run ~protocol ~n ~dist ~load ~conditions ~seed ()
@@ -267,7 +281,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"One verbose consensus execution")
-    Term.(const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg)
+    Term.(
+      const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg
+      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ jobs_arg)
 
 (* --- chaos ------------------------------------------------------------------ *)
 
@@ -283,10 +299,10 @@ let strategy_conv =
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Strategy.name s))
 
-let run_chaos runs seed n strategy broken quiet =
+let run_chaos runs seed n strategy broken quiet jobs =
   let log = if quiet then fun _ -> () else progress in
   let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
-  let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~log ~runs ~seed () in
+  let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~log ~jobs ~runs ~seed () in
   Printf.printf
     "chaos: %d run(s) x {Turquois, Bracha, ABBA}, seed %Ld, n=%d\n\
     \  liveness checkable on %d schedule(s); %d violation(s)\n"
@@ -328,7 +344,9 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
-    Term.(const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg $ quiet_arg)
+    Term.(
+      const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg $ quiet_arg
+      $ jobs_arg)
 
 (* --- analyze ---------------------------------------------------------------- *)
 

@@ -191,12 +191,23 @@ let round_state t round =
    is identical, so the cryptography runs once per distinct input. The
    *simulated* CPU cost is still charged for every verification — only
    the host's wall-clock time is saved. *)
-let verify_cache : (string, bool) Hashtbl.t = Hashtbl.create 4096
-let share_cache : (string, bool) Hashtbl.t = Hashtbl.create 4096
+(* The caches are domain-local: verification results are pure functions
+   of their inputs, so parallel pool workers recompute identical values
+   instead of racing on shared tables. *)
+let verify_cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let share_cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 (* Any threshold-many valid shares combine to the same group element, so
    the coin's value is a function of its name alone once computed. *)
-let coin_cache : (string, int) Hashtbl.t = Hashtbl.create 256
+let coin_cache_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let verify_cache () = Domain.DLS.get verify_cache_key
+let share_cache () = Domain.DLS.get share_cache_key
+let coin_cache () = Domain.DLS.get coin_cache_key
 
 let cache_guard table = if Hashtbl.length table > 200_000 then Hashtbl.reset table
 
@@ -222,7 +233,7 @@ let verify_sig t ~signer msg ~signature =
   let key =
     Printf.sprintf "s|%d|%s|%s" signer (Bytes.to_string msg) (Bytes.to_string signature)
   in
-  cached verify_cache key (fun () -> Crypto.Rsa.verify t.keys.pubs.(signer) msg ~signature)
+  cached (verify_cache ()) key (fun () -> Crypto.Rsa.verify t.keys.pubs.(signer) msg ~signature)
 
 let verify_ms t ~msg ~k ms =
   let count = Crypto.Multisig.count ms in
@@ -232,7 +243,7 @@ let verify_ms t ~msg ~k ms =
     Printf.sprintf "m|%d|%s|%s" k (Bytes.to_string msg)
       (Bytes.to_string (Crypto.Multisig.to_bytes ms))
   in
-  cached verify_cache key (fun () -> Crypto.Multisig.verify ~keys:t.keys.pubs ~msg ~k ms)
+  cached (verify_cache ()) key (fun () -> Crypto.Multisig.verify ~keys:t.keys.pubs ~msg ~k ms)
 
 let verify_share t ~round share =
   t.stats.shares_verified <- t.stats.shares_verified + 1;
@@ -240,7 +251,7 @@ let verify_share t ~round share =
   let key =
     Printf.sprintf "c|%d|%s" round (Bytes.to_string (Crypto.Coin.share_to_bytes share))
   in
-  cached share_cache key (fun () ->
+  cached (share_cache ()) key (fun () ->
       Crypto.Coin.verify_share t.keys.coin_params ~name:(coin_name ~round) share)
 
 (* The attacker of §7.2 floods well-formed messages whose signatures and
@@ -352,12 +363,12 @@ and prevote_justified t ~round ~value ~just =
       in
       Net.Node.charge t.node
         (Net.Cost.coin_combine ~shares:(Crypto.Coin.threshold t.keys.coin_params));
-      (match Hashtbl.find_opt coin_cache name with
+      (match Hashtbl.find_opt (coin_cache ()) name with
       | Some bit -> bit = value
       | None -> (
           match Crypto.Coin.combine t.keys.coin_params ~name valid_shares with
           | Some bit ->
-              Hashtbl.replace coin_cache name bit;
+              Hashtbl.replace (coin_cache ()) name bit;
               bit = value
           | None -> false))
 
@@ -440,12 +451,12 @@ and try_advance t =
                      ~shares:(Crypto.Coin.threshold t.keys.coin_params));
                 let name = coin_name ~round:t.round_i in
                 let bit =
-                  match Hashtbl.find_opt coin_cache name with
+                  match Hashtbl.find_opt (coin_cache ()) name with
                   | Some bit -> bit
                   | None -> (
                       match Crypto.Coin.combine t.keys.coin_params ~name shares with
                       | Some bit ->
-                          Hashtbl.replace coin_cache name bit;
+                          Hashtbl.replace (coin_cache ()) name bit;
                           bit
                       | None -> Util.Rng.coin (Net.Node.rng t.node))
                 in

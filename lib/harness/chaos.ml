@@ -133,43 +133,63 @@ let strategy_label plan =
 let default_protocols = [ Runner.Turquois; Runner.Bracha; Runner.Abba ]
 
 let run_chaos ?(n = 4) ?(bug = No_bug) ?strategy ?(protocols = default_protocols)
-    ?(log = fun _ -> ()) ~runs ~seed () =
+    ?(log = fun _ -> ()) ?jobs ~runs ~seed () =
   let strategy_pool = match strategy with Some s -> [ s ] | None -> Core.Strategy.all in
+  (* phase 1, parallel: every plan is derived from (seed, index) alone,
+     so the (plan, violations) pairs land in slot order and are
+     independent of worker scheduling *)
+  let executed =
+    Pool.map ?jobs ~tasks:runs (fun index ->
+        let plan = make_plan ~n ~strategy_pool ~seed index in
+        let outcomes =
+          List.map
+            (fun protocol -> (protocol, execute ~protocol ~n ~bug plan plan.p_schedule))
+            protocols
+        in
+        (plan, outcomes))
+  in
+  (* phase 2, sequential: delta-debug shrinking re-executes shrinking
+     candidate schedules in a data-dependent order, so it stays on the
+     calling domain — failures are rare, and reports keep the exact
+     sequential ordering *)
   let liveness_checked = ref 0 in
   let failures = ref [] in
-  for index = 0 to runs - 1 do
-    let plan = make_plan ~n ~strategy_pool ~seed index in
-    if liveness_horizon plan.p_schedule <> None then incr liveness_checked;
-    List.iter
-      (fun protocol ->
-        match execute ~protocol ~n ~bug plan plan.p_schedule with
-        | [] -> ()
-        | violations ->
-            let shrunk = shrink ~protocol ~n ~bug plan in
-            let failure =
-              {
-                index;
-                seed = plan.p_seed;
-                protocol;
-                strategy = strategy_label plan;
-                dist = plan.p_dist;
-                schedule = plan.p_schedule;
-                violations;
-                shrunk;
-              }
-            in
-            log
-              (Printf.sprintf
-                 "FAIL run %d %s (seed %Ld, %s%s): %s\n  minimal reproducer: %s" index
-                 (Runner.protocol_to_string protocol) plan.p_seed
-                 (Runner.dist_to_string plan.p_dist)
-                 (match failure.strategy with Some s -> ", strategy " ^ s | None -> "")
-                 (String.concat "; " violations)
-                 (Net.Schedule.to_string shrunk));
-            failures := failure :: !failures)
-      protocols;
-    if (index + 1) mod 25 = 0 then
-      log (Printf.sprintf "%d/%d runs, %d failure(s)" (index + 1) runs
-             (List.length !failures))
-  done;
+  Array.iter
+    (fun (plan, outcomes) ->
+      if liveness_horizon plan.p_schedule <> None then incr liveness_checked;
+      List.iter
+        (fun (protocol, violations) ->
+          match violations with
+          | [] -> ()
+          | violations ->
+              let shrunk = shrink ~protocol ~n ~bug plan in
+              let failure =
+                {
+                  index = plan.p_index;
+                  seed = plan.p_seed;
+                  protocol;
+                  strategy = strategy_label plan;
+                  dist = plan.p_dist;
+                  schedule = plan.p_schedule;
+                  violations;
+                  shrunk;
+                }
+              in
+              log
+                (Printf.sprintf
+                   "FAIL run %d %s (seed %Ld, %s%s): %s\n  minimal reproducer: %s"
+                   plan.p_index
+                   (Runner.protocol_to_string protocol)
+                   plan.p_seed
+                   (Runner.dist_to_string plan.p_dist)
+                   (match failure.strategy with Some s -> ", strategy " ^ s | None -> "")
+                   (String.concat "; " violations)
+                   (Net.Schedule.to_string shrunk));
+              failures := failure :: !failures)
+        outcomes;
+      if (plan.p_index + 1) mod 25 = 0 then
+        log
+          (Printf.sprintf "%d/%d runs, %d failure(s)" (plan.p_index + 1) runs
+             (List.length !failures)))
+    executed;
   { runs; liveness_checked = !liveness_checked; failures = List.rev !failures }

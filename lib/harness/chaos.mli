@@ -48,10 +48,15 @@ val run_chaos :
   ?strategy:Core.Strategy.t ->
   ?protocols:Runner.protocol list ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
   runs:int ->
   seed:int64 ->
   unit ->
   report
 (** [n] defaults to 4 (the smallest group with a Byzantine slot);
     [strategy] pins every Byzantine run to one strategy instead of
-    rotating; [log] receives progress lines and failure reports. *)
+    rotating; [log] receives progress lines and failure reports (after
+    the parallel phase, in run order). Runs execute on the {!Pool} with
+    [jobs] workers; every plan derives from [(seed, index)] alone, so
+    the report is identical for every [jobs]. Delta-debug shrinking of
+    failing schedules stays sequential on the calling domain. *)

@@ -15,7 +15,17 @@ type cell_result = {
   timeouts : int;
 }
 
-let run_cell ?(reps = 50) ?(base_seed = 1000L) ?(timeout = 120.0) ?conditions cell =
+let run_cell ?(reps = 50) ?(base_seed = 1000L) ?(timeout = 120.0) ?conditions ?jobs
+    cell =
+  (* repetitions are independent and seeded by their index, so they run
+     on the pool; the fold below walks results in slot (= rep) order,
+     keeping every aggregate bit-identical to sequential execution *)
+  let results =
+    Pool.map ?jobs ~tasks:reps (fun rep ->
+        let seed = Int64.add base_seed (Int64.of_int rep) in
+        Runner.run ~protocol:cell.protocol ~n:cell.n ~dist:cell.dist ~load:cell.load
+          ?conditions ~timeout ~seed ())
+  in
   let latencies = ref [] in
   let phases = ref [] in
   let deciders = ref 0 in
@@ -23,20 +33,16 @@ let run_cell ?(reps = 50) ?(base_seed = 1000L) ?(timeout = 120.0) ?conditions ce
   let agreement_violations = ref 0 in
   let validity_violations = ref 0 in
   let timeouts = ref 0 in
-  for rep = 0 to reps - 1 do
-    let seed = Int64.add base_seed (Int64.of_int rep) in
-    let result =
-      Runner.run ~protocol:cell.protocol ~n:cell.n ~dist:cell.dist ~load:cell.load
-        ?conditions ~timeout ~seed ()
-    in
-    List.iter (fun (_, l) -> latencies := (l *. 1000.0) :: !latencies) result.latencies;
-    List.iter (fun (_, p) -> phases := float_of_int p :: !phases) result.decision_phases;
-    deciders := !deciders + List.length result.latencies;
-    correct_total := !correct_total + List.length result.correct;
-    if not result.agreement then incr agreement_violations;
-    if not result.validity then incr validity_violations;
-    if result.timed_out then incr timeouts
-  done;
+  Array.iter
+    (fun (result : Runner.result) ->
+      List.iter (fun (_, l) -> latencies := (l *. 1000.0) :: !latencies) result.latencies;
+      List.iter (fun (_, p) -> phases := float_of_int p :: !phases) result.decision_phases;
+      deciders := !deciders + List.length result.latencies;
+      correct_total := !correct_total + List.length result.correct;
+      if not result.agreement then incr agreement_violations;
+      if not result.validity then incr validity_violations;
+      if result.timed_out then incr timeouts)
+    results;
   if !latencies = [] then
     invalid_arg "Experiment.run_cell: no repetition produced a decision";
   {
@@ -56,6 +62,7 @@ type table_options = {
   base_seed : int64;
   timeout : float;
   progress : (string -> unit) option;
+  jobs : int option;
 }
 
 let default_options =
@@ -66,6 +73,7 @@ let default_options =
     base_seed = 1000L;
     timeout = 120.0;
     progress = None;
+    jobs = None;
   }
 
 let table_number = function
@@ -91,7 +99,7 @@ let run_table ?(options = default_options) load =
               | None -> ());
               let result =
                 run_cell ~reps:options.reps ~base_seed:options.base_seed
-                  ~timeout:options.timeout cell
+                  ~timeout:options.timeout ?jobs:options.jobs cell
               in
               cells := result :: !cells)
             [ Runner.Unanimous; Runner.Divergent ])

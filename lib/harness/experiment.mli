@@ -21,10 +21,11 @@ type cell_result = {
 
 val run_cell :
   ?reps:int -> ?base_seed:int64 -> ?timeout:float ->
-  ?conditions:Net.Fault.conditions -> cell -> cell_result
+  ?conditions:Net.Fault.conditions -> ?jobs:int -> cell -> cell_result
 (** [reps] defaults to the paper's 50 repetitions; each repetition uses
-    seed [base_seed + rep]. @raise Invalid_argument if no repetition
-    produced a decision. *)
+    seed [base_seed + rep]. Repetitions run on the {!Pool} with [jobs]
+    workers; all statistics are bit-identical for every [jobs].
+    @raise Invalid_argument if no repetition produced a decision. *)
 
 type table_options = {
   reps : int;
@@ -33,6 +34,7 @@ type table_options = {
   base_seed : int64;
   timeout : float;
   progress : (string -> unit) option;  (** per-cell progress callback *)
+  jobs : int option;  (** pool workers per cell; [None] = {!Pool.default_jobs} *)
 }
 
 val default_options : table_options

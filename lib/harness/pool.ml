@@ -1,0 +1,44 @@
+(* Work distribution is an atomic fetch-and-add over the task counter:
+   domains race for indices, but because every result lands in its own
+   slot and every task is seeded by its coordinates alone, the race
+   affects only scheduling, never results. No work stealing, no
+   queues — simulation runs are coarse enough (milliseconds to
+   seconds) that a shared counter is contention-free in practice. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'a slot = Empty | Value of 'a | Raised of exn
+
+let map ?jobs ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.map: tasks < 0";
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  let jobs = min jobs tasks in
+  if jobs <= 1 then Array.init tasks f
+  else begin
+    let results = Array.make tasks Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= tasks then continue := false
+        else
+          results.(i) <- (match f i with v -> Value v | exception e -> Raised e)
+      done
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (* re-raise deterministically: the lowest-indexed failure wins,
+       whatever order the domains hit theirs in *)
+    Array.iter (function Raised e -> raise e | Empty | Value _ -> ()) results;
+    Array.map (function Value v -> v | Empty | Raised _ -> assert false) results
+  end
+
+let map_list ?jobs items f =
+  let arr = Array.of_list items in
+  Array.to_list (map ?jobs ~tasks:(Array.length arr) (fun i -> f arr.(i)))
+
+let map_scoped ?jobs ~tasks f =
+  map ?jobs ~tasks (fun i -> Obs.Scope.with_run (fun () -> f i))

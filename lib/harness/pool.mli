@@ -1,0 +1,46 @@
+(** Deterministic parallel run pool over OCaml 5 domains.
+
+    Independent simulation runs (table cells, sweep points, chaos
+    plans, benchmark repetitions) execute concurrently on worker
+    domains while the aggregate result stays bit-identical to
+    sequential execution. Three rules make that hold:
+
+    - {b seed from coordinates}: a task's randomness must derive only
+      from its grid coordinates (via {!Util.Rng.derive}), never from
+      submission or completion order — the pool hands each task its
+      index and nothing else;
+    - {b slot-indexed collection}: task [i]'s result is stored in slot
+      [i] of the result array, so the output order is the input order
+      regardless of which domain finished first;
+    - {b domain-local observability}: the {!Obs.Metrics} registry and
+      {!Obs.Trace2} buffer are domain-local, each task runs under
+      [Obs.Scope.with_run] on its worker, and the per-run snapshots
+      are returned in slot order (merge with {!Obs.Metrics.merge}) —
+      no cross-domain contention, no cross-run bleed.
+
+    With [jobs = 1] (or a single task) everything runs in the calling
+    domain and no domain is spawned, so [jobs] can be threaded through
+    unconditionally. A task that raises aborts the pool: the exception
+    of the lowest-indexed failing task is re-raised after join. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — one worker
+    per available core, keeping the spawning domain free to
+    participate (it also executes tasks). *)
+
+val map : ?jobs:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [map ~jobs ~tasks f] computes [[| f 0; ...; f (tasks-1) |]],
+    running up to [jobs] (default {!default_jobs}) tasks concurrently.
+    [f] must be self-contained: seeded by its index, no shared mutable
+    state. Result slot [i] always holds [f i].
+    @raise Invalid_argument if [tasks < 0] or [jobs < 1]. *)
+
+val map_list : ?jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [map_list ~jobs items f] is {!map} over a work list; result order
+    is the input order. *)
+
+val map_scoped : ?jobs:int -> tasks:int -> (int -> 'a) -> ('a * Obs.Metrics.snapshot) array
+(** Like {!map}, but wraps every task in [Obs.Scope.with_run], so each
+    slot carries the metrics snapshot of exactly that run (taken on
+    the worker domain that executed it). Sequential and parallel
+    executions produce identical snapshot arrays. *)

@@ -31,33 +31,40 @@ type result = {
 (* Key material caches — the paper generates and distributes all keys
    before the experiments start, so reusing them across repetitions is
    faithful (and keeps the simulation fast). Generation is seeded
-   deterministically per group size. *)
-let turquois_keys : (int, Core.Keyring.t array) Hashtbl.t = Hashtbl.create 8
-let abba_keys : (int, Baselines.Abba.group_keys) Hashtbl.t = Hashtbl.create 8
+   deterministically per group size, so the caches are domain-local:
+   each pool worker derives bit-identical keys instead of racing on a
+   shared table. *)
+let turquois_keys : (int, Core.Keyring.t array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let abba_keys : (int, Baselines.Abba.group_keys) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let key_phases = 300
 
 let turquois_keyrings ~n =
-  match Hashtbl.find_opt turquois_keys n with
+  let cache = Domain.DLS.get turquois_keys in
+  match Hashtbl.find_opt cache n with
   | Some k -> k
   | None ->
       let rng = Util.Rng.create ~seed:(Int64.of_int (0x7153 + n)) in
       let k = Core.Keyring.setup rng ~n ~phases:key_phases () in
-      Hashtbl.add turquois_keys n k;
+      Hashtbl.add cache n k;
       k
 
 let abba_group_keys ~n =
-  match Hashtbl.find_opt abba_keys n with
+  let cache = Domain.DLS.get abba_keys in
+  match Hashtbl.find_opt cache n with
   | Some k -> k
   | None ->
       let rng = Util.Rng.create ~seed:(Int64.of_int (0xabba + n)) in
       let k = Baselines.Abba.setup_keys rng ~n ~f:(Net.Fault.max_f n) () in
-      Hashtbl.add abba_keys n k;
+      Hashtbl.add cache n k;
       k
 
 let clear_key_cache () =
-  Hashtbl.reset turquois_keys;
-  Hashtbl.reset abba_keys
+  Hashtbl.reset (Domain.DLS.get turquois_keys);
+  Hashtbl.reset (Domain.DLS.get abba_keys)
 
 (* Start offsets model the signaling machine's 1-byte UDP broadcast:
    one frame airtime plus small per-node reception jitter. *)

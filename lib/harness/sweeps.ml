@@ -8,47 +8,72 @@ type sigma_row = {
   validity_violations : int;
 }
 
-let sigma_sweep ~n ~k ?(byzantine = []) ?(dist = Runner.Divergent) ?(rounds = 120)
-    ?(runs_per_point = 10) ?(beyond = 4) ?(base_seed = 4242L) () =
+let adversary_index = function
+  | Abstract_rounds.Random_omissions -> 0
+  | Abstract_rounds.Target_victims -> 1
+  | Abstract_rounds.Sigma_edge -> 2
+
+(* Seeds derive from the grid coordinates alone. The old scheme,
+   [base + omissions*1009 + run], collided across grid points as soon
+   as [runs_per_point >= 1009] and — worse — ignored the adversary, so
+   the two adversaries at one grid point replayed the *same* random
+   streams and their comparison rows were correlated, not independent. *)
+let run_seed ~base_seed ~adversary ~omissions ~run =
+  Util.Rng.derive ~base:base_seed [ adversary_index adversary; omissions; run ]
+
+let sigma_sweep_merged ~n ~k ?(byzantine = []) ?(dist = Runner.Divergent)
+    ?(rounds = 120) ?(runs_per_point = 10) ?(beyond = 4) ?(base_seed = 4242L) ?jobs ()
+    =
   let t = List.length byzantine in
   let bound = Abstract_rounds.sigma ~n ~k ~t in
-  let points = List.init (bound + beyond + 1) (fun i -> i) in
-  List.concat_map
-    (fun adversary ->
-      List.map
-        (fun omissions ->
-          let successes = ref 0 in
-          let rounds_acc = ref [] in
-          let agreement_violations = ref 0 in
-          let validity_violations = ref 0 in
-          for run = 0 to runs_per_point - 1 do
-            let seed =
-              Int64.add base_seed (Int64.of_int ((omissions * 1009) + run))
-            in
-            let outcome =
-              Abstract_rounds.run ~n ~k ~byzantine ~dist ~adversary ~omissions ~rounds
-                ~seed ()
-            in
-            (match outcome.rounds_to_k with
-            | Some r ->
-                incr successes;
-                rounds_acc := float_of_int r :: !rounds_acc
-            | None -> ());
-            if not outcome.agreement then incr agreement_violations;
-            if not outcome.validity then incr validity_violations
-          done;
-          {
-            omissions;
-            adversary;
-            runs = runs_per_point;
-            k_reached = !successes;
-            mean_rounds =
-              (match !rounds_acc with [] -> None | l -> Some (Util.Stats.mean l));
-            agreement_violations = !agreement_violations;
-            validity_violations = !validity_violations;
-          })
-        points)
-    [ Abstract_rounds.Random_omissions; Abstract_rounds.Target_victims ]
+  let npoints = bound + beyond + 1 in
+  let adversaries =
+    [| Abstract_rounds.Random_omissions; Abstract_rounds.Target_victims |]
+  in
+  (* one pool task per (adversary, omission budget) grid point, indexed
+     adversary-major so the row order matches the sequential output *)
+  let row task =
+    let adversary = adversaries.(task / npoints) in
+    let omissions = task mod npoints in
+    let successes = ref 0 in
+    let rounds_acc = ref [] in
+    let agreement_violations = ref 0 in
+    let validity_violations = ref 0 in
+    for run = 0 to runs_per_point - 1 do
+      let seed = run_seed ~base_seed ~adversary ~omissions ~run in
+      let outcome =
+        Abstract_rounds.run ~n ~k ~byzantine ~dist ~adversary ~omissions ~rounds
+          ~seed ()
+      in
+      (match outcome.rounds_to_k with
+      | Some r ->
+          incr successes;
+          rounds_acc := float_of_int r :: !rounds_acc
+      | None -> ());
+      if not outcome.agreement then incr agreement_violations;
+      if not outcome.validity then incr validity_violations
+    done;
+    {
+      omissions;
+      adversary;
+      runs = runs_per_point;
+      k_reached = !successes;
+      mean_rounds =
+        (match !rounds_acc with [] -> None | l -> Some (Util.Stats.mean l));
+      agreement_violations = !agreement_violations;
+      validity_violations = !validity_violations;
+    }
+  in
+  let rows, snaps =
+    Array.split (Pool.map_scoped ?jobs ~tasks:(Array.length adversaries * npoints) row)
+  in
+  (Array.to_list rows, Obs.Metrics.merge (Array.to_list snaps))
+
+let sigma_sweep ~n ~k ?byzantine ?dist ?rounds ?runs_per_point ?beyond ?base_seed ?jobs
+    () =
+  fst
+    (sigma_sweep_merged ~n ~k ?byzantine ?dist ?rounds ?runs_per_point ?beyond
+       ?base_seed ?jobs ())
 
 let adversary_to_string = function
   | Abstract_rounds.Random_omissions -> "random"
@@ -85,19 +110,21 @@ type phase_row = {
   histogram : (int * int) list;
 }
 
-let phase_distribution ~n ?(reps = 30) ?(base_seed = 7000L) ~loads () =
+let phase_distribution ~n ?(reps = 30) ?(base_seed = 7000L) ?jobs ~loads () =
   List.concat_map
     (fun load ->
       List.map
         (fun dist ->
+          let results =
+            Pool.map ?jobs ~tasks:reps (fun rep ->
+                let seed = Int64.add base_seed (Int64.of_int rep) in
+                Runner.run ~protocol:Runner.Turquois ~n ~dist ~load ~seed ())
+          in
           let phases = ref [] in
-          for rep = 0 to reps - 1 do
-            let seed = Int64.add base_seed (Int64.of_int rep) in
-            let result =
-              Runner.run ~protocol:Runner.Turquois ~n ~dist ~load ~seed ()
-            in
-            List.iter (fun (_, p) -> phases := p :: !phases) result.decision_phases
-          done;
+          Array.iter
+            (fun (result : Runner.result) ->
+              List.iter (fun (_, p) -> phases := p :: !phases) result.decision_phases)
+            results;
           let counts = Hashtbl.create 16 in
           List.iter
             (fun p ->
@@ -179,15 +206,15 @@ let run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed =
       Net.Engine.now engine < 60.0 && Hashtbl.length decided < List.length correct);
   Hashtbl.fold (fun _ t acc -> (t *. 1000.0) :: acc) decided []
 
-let ablations ~n ?(reps = 15) ?(base_seed = 9900L) () =
+let ablations ~n ?(reps = 15) ?(base_seed = 9900L) ?jobs () =
   let collect ~group ~label ~dist ~load ~tick_policy ~auth_cost =
-    let samples = ref [] in
-    for rep = 0 to reps - 1 do
-      let seed = Int64.add base_seed (Int64.of_int rep) in
-      samples :=
-        run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed @ !samples
-    done;
-    { label; group; ab_samples = List.length !samples; latency = Util.Stats.summarize !samples }
+    let per_rep =
+      Pool.map ?jobs ~tasks:reps (fun rep ->
+          let seed = Int64.add base_seed (Int64.of_int rep) in
+          run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed)
+    in
+    let samples = Array.fold_left (fun acc l -> l @ acc) [] per_rep in
+    { label; group; ab_samples = List.length samples; latency = Util.Stats.summarize samples }
   in
   [
     collect ~group:"authentication" ~label:"one-time hash signatures (paper)"

@@ -12,13 +12,34 @@ type sigma_row = {
   validity_violations : int;
 }
 
+val run_seed :
+  base_seed:int64 -> adversary:Abstract_rounds.adversary -> omissions:int ->
+  run:int -> int64
+(** The per-run seed of a sweep grid point: {!Util.Rng.derive} over
+    (adversary index, omission budget, repetition). Collision-free
+    across the grid and distinct per adversary, so adversary
+    comparisons run on independent randomness — exposed for the
+    regression test of the old additive scheme, which reused one seed
+    for every adversary at a grid point. *)
+
 val sigma_sweep :
   n:int -> k:int -> ?byzantine:int list -> ?dist:Runner.dist ->
   ?rounds:int -> ?runs_per_point:int -> ?beyond:int -> ?base_seed:int64 ->
-  unit -> sigma_row list
+  ?jobs:int -> unit -> sigma_row list
 (** Sweeps the per-round omission budget from 0 to σ + [beyond]
     (default 4) for both adversaries, [runs_per_point] (default 10)
-    seeds each, [rounds] (default 120) round horizon. *)
+    seeds each, [rounds] (default 120) round horizon. Grid points run
+    on the {!Pool} with [jobs] workers (default {!Pool.default_jobs});
+    the row list is bit-identical for every [jobs]. *)
+
+val sigma_sweep_merged :
+  n:int -> k:int -> ?byzantine:int list -> ?dist:Runner.dist ->
+  ?rounds:int -> ?runs_per_point:int -> ?beyond:int -> ?base_seed:int64 ->
+  ?jobs:int -> unit -> sigma_row list * Obs.Metrics.snapshot
+(** Like {!sigma_sweep}, also returning the merged per-run metrics
+    (slot-ordered {!Obs.Metrics.merge} of every grid point's
+    domain-local snapshot) — the aggregate the parallel-determinism
+    test compares across [jobs] values. *)
 
 val render_sigma : n:int -> k:int -> t:int -> sigma_row list -> string
 
@@ -31,8 +52,8 @@ type phase_row = {
 }
 
 val phase_distribution :
-  n:int -> ?reps:int -> ?base_seed:int64 -> loads:Net.Fault.load list -> unit ->
-  phase_row list
+  n:int -> ?reps:int -> ?base_seed:int64 -> ?jobs:int ->
+  loads:Net.Fault.load list -> unit -> phase_row list
 (** Turquois decision-phase distribution per proposal distribution and
     fault load — the "decide by phase 3 unanimous, phase 6 divergent"
     observation of §7.3. *)
@@ -46,7 +67,8 @@ type ablation_row = {
   latency : Util.Stats.summary;  (** milliseconds *)
 }
 
-val ablations : n:int -> ?reps:int -> ?base_seed:int64 -> unit -> ablation_row list
+val ablations :
+  n:int -> ?reps:int -> ?base_seed:int64 -> ?jobs:int -> unit -> ablation_row list
 (** Ablation study of DESIGN.md's called-out choices, Turquois only:
 
     - {b authentication}: one-time hash signatures (the paper's

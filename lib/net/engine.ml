@@ -1,18 +1,30 @@
-type event = { time : float; seq : int; action : unit -> unit; mutable cancelled : bool }
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  mutable queued : bool;
+}
 
 type handle = event
 
-(* Binary min-heap ordered by (time, seq). *)
+(* Binary min-heap ordered by (time, seq). [live] counts queued events
+   that are not cancelled: cancellation only flags the event (it is
+   lazily collected when it reaches the heap top), so the heap size
+   over-reports queue depth. *)
 type t = {
   mutable heap : event array;
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  mutable live : int;
 }
 
-let dummy = { time = 0.0; seq = -1; action = (fun () -> ()); cancelled = true }
+let dummy =
+  { time = 0.0; seq = -1; action = (fun () -> ()); cancelled = true; queued = false }
 
-let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let create () =
+  { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0; live = 0 }
 
 let now t = t.clock
 
@@ -60,23 +72,31 @@ let pop t =
     t.heap.(0) <- t.heap.(t.size);
     t.heap.(t.size) <- dummy;
     if t.size > 0 then sift_down t 0;
+    top.queued <- false;
+    if not top.cancelled then t.live <- t.live - 1;
     Some top
   end
 
 let at t ~time action =
   let time = Float.max time t.clock in
-  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  let ev = { time; seq = t.next_seq; action; cancelled = false; queued = true } in
   t.next_seq <- t.next_seq + 1;
   push t ev;
+  t.live <- t.live + 1;
   ev
 
 let schedule t ~delay action =
   if Float.is_nan delay || delay < 0.0 then invalid_arg "Engine.schedule: bad delay";
   at t ~time:(t.clock +. delay) action
 
-let cancel _t handle = handle.cancelled <- true
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    if handle.queued then t.live <- t.live - 1
+  end
 
-let pending t = t.size
+let pending t = t.live
+let heap_size t = t.size
 
 let step t =
   match pop t with

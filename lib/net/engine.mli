@@ -26,8 +26,14 @@ val cancel : t -> handle -> unit
 (** Cancelling an already-fired or cancelled event is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled ones may be counted until
-    collected). *)
+(** Number of live (not cancelled, not yet fired) events. Safe as a
+    quiescence signal: cancelled events never count, even before they
+    are lazily collected from the heap. *)
+
+val heap_size : t -> int
+(** Raw heap occupancy, including cancelled events awaiting lazy
+    collection. [heap_size t >= pending t]; exposed for tests and
+    queue-depth diagnostics. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drains the queue. Stops when the queue is empty, when the next event

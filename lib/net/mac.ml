@@ -241,10 +241,14 @@ let handle_radio_receive t ~sender:_ raw =
     end
 
 (* Shared dispatch: the radio has a single receive callback, so the first
-   MAC created installs a dispatcher over a registry of MAC entities. *)
-let registries : (Radio.t * t array ref) list ref = ref []
+   MAC created installs a dispatcher over a registry of MAC entities.
+   The registry is domain-local — a radio and its MACs always live in
+   one domain, and parallel pool workers must not share the list. *)
+let registries_key : (Radio.t * t array ref) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let create engine radio ~id ~rng =
+  let registries = Domain.DLS.get registries_key in
   let t =
     {
       engine;

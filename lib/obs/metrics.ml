@@ -12,10 +12,16 @@ type cell =
   | Cell_gauge of float ref
   | Cell_hist of hist_state
 
-(* One process-global registry, like the trace sink: the simulator is
-   single-threaded and runs are scoped with {!reset} / [Scope.with_run].
+(* One registry per domain, like the trace sink: a simulation run is
+   single-threaded within its domain and scoped with {!reset} /
+   [Scope.with_run]; the parallel run pool gives every worker domain
+   its own registry and merges the per-run snapshots after join, so
+   concurrent runs never contend for (or corrupt) a shared table.
    Keys carry labels in sorted order so call-site order is irrelevant. *)
-let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 128
+let registry_key : (string * labels, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 128)
+
+let registry () = Domain.DLS.get registry_key
 
 let norm_labels labels = List.sort compare labels
 
@@ -25,6 +31,7 @@ let kind_name = function
   | Cell_hist _ -> "histogram"
 
 let lookup name labels make =
+  let registry = registry () in
   let key = (name, norm_labels labels) in
   match Hashtbl.find_opt registry key with
   | Some cell -> cell
@@ -62,7 +69,7 @@ let observe ?(labels = []) ~lo ~hi ~bins name v =
       h.h_sum <- h.h_sum +. v
   | cell -> type_clash name cell "histogram"
 
-let reset () = Hashtbl.reset registry
+let reset () = Hashtbl.reset (registry ())
 
 (* --- snapshots ----------------------------------------------------------- *)
 
@@ -89,7 +96,7 @@ let snapshot () =
               }
       in
       { name; labels; value } :: acc)
-    registry []
+    (registry ()) []
   |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
 
 let find snap ?(labels = []) name =
@@ -98,6 +105,37 @@ let find snap ?(labels = []) name =
 
 let counter_value snap ?labels name =
   match find snap ?labels name with Some { value = Counter c; _ } -> c | Some _ | None -> 0
+
+let merge_values name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Histogram x, Histogram y
+    when x.lo = y.lo && x.hi = y.hi && Array.length x.counts = Array.length y.counts ->
+      Histogram
+        {
+          lo = x.lo;
+          hi = x.hi;
+          counts = Array.init (Array.length x.counts) (fun i -> x.counts.(i) + y.counts.(i));
+          total = x.total + y.total;
+          sum = x.sum +. y.sum;
+        }
+  | _ -> invalid_arg (Printf.sprintf "Metrics.merge: series %s has mismatched shapes" name)
+
+let merge snaps =
+  let tbl : (string * labels, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun s ->
+          let key = (s.name, s.labels) in
+          match Hashtbl.find_opt tbl key with
+          | None -> Hashtbl.add tbl key s.value
+          | Some v -> Hashtbl.replace tbl key (merge_values s.name v s.value))
+        snap)
+    snaps;
+  Hashtbl.fold (fun (name, labels) value acc -> { name; labels; value } :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
 
 let sum_counters snap name =
   List.fold_left

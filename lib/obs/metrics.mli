@@ -61,6 +61,16 @@ val counter_value : snapshot -> ?labels:labels -> string -> int
 val sum_counters : snapshot -> string -> int
 (** Sum of a counter across all of its label sets. *)
 
+val merge : snapshot list -> snapshot
+(** [merge snaps] combines per-run snapshots into one aggregate view:
+    counters and gauges add, histograms add bin-wise. Used by the
+    parallel run pool to fold the domain-local per-run snapshots back
+    into a single deterministic series after join — merging is
+    commutative and associative over runs, so the result is independent
+    of execution order (the pool still merges in slot order).
+    @raise Invalid_argument if the same series appears with
+    incompatible types or histogram shapes. *)
+
 val labels_to_string : labels -> string
 val render_table : snapshot -> string
 (** Human-readable table (metric | labels | value). *)

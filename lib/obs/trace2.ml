@@ -16,22 +16,33 @@ type state = {
   mutable entries : event list; (* newest first *)
 }
 
-let state = { active = false; limit = 0; count = 0; dropped = 0; entries = [] }
+(* One buffer per domain: tracing stays race-free when the parallel run
+   pool executes runs on worker domains. Workers start with tracing off
+   (the [start] flag is domain-local too), which is why ordering-
+   sensitive trace exports force sequential execution at the CLI. *)
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { active = false; limit = 0; count = 0; dropped = 0; entries = [] })
+
+let state () = Domain.DLS.get state_key
 
 let clear () =
+  let state = state () in
   state.count <- 0;
   state.dropped <- 0;
   state.entries <- []
 
 let start ?(limit = 100_000) () =
   clear ();
+  let state = state () in
   state.limit <- limit;
   state.active <- true
 
-let stop () = state.active <- false
-let enabled () = state.active
+let stop () = (state ()).active <- false
+let enabled () = (state ()).active
 
 let emit ~time ~node ~layer ~label fields =
+  let state = state () in
   if state.active then begin
     if state.count < state.limit then begin
       state.entries <- { time; node; layer; label; fields } :: state.entries;
@@ -40,8 +51,8 @@ let emit ~time ~node ~layer ~label fields =
     else state.dropped <- state.dropped + 1
   end
 
-let events () = List.rev state.entries
-let dropped () = state.dropped
+let events () = List.rev (state ()).entries
+let dropped () = (state ()).dropped
 
 (* --- rendering ----------------------------------------------------------- *)
 

@@ -9,6 +9,19 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* splitmix64 finalizer alone: a bijective avalanche over 64 bits. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let derive ~base coords =
+  List.fold_left
+    (fun acc c ->
+      mix64 (Int64.add (Int64.logxor acc (Int64.of_int c)) 0x9E3779B97F4A7C15L))
+    (mix64 base) coords
+
 let create ~seed =
   let st = ref seed in
   let s0 = splitmix64 st in

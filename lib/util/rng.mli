@@ -12,6 +12,17 @@ val create : seed:int64 -> t
 (** [create ~seed] builds a generator from a 64-bit seed. Distinct seeds
     yield statistically independent streams. *)
 
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer: a bijective 64-bit avalanche. *)
+
+val derive : base:int64 -> int list -> int64
+(** [derive ~base coords] hashes a list of integer coordinates (grid
+    point, adversary index, repetition number, ...) into a seed,
+    folding each coordinate through the splitmix64 finalizer. The
+    result depends on every coordinate and on their order, so distinct
+    grid points get uncorrelated seeds regardless of how the grid is
+    enumerated — the property the parallel run pool relies on. *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t]'s stream. The two
     generators produce independent streams; used to give each simulated

@@ -47,36 +47,47 @@ let ci95_halfwidth xs =
   if n < 2 then 0.0
   else t_critical_95 (n - 1) *. stddev xs /. sqrt (float_of_int n)
 
+(* Shared by percentile and summarize: one NaN check, one sort. The
+   polymorphic [compare] this replaces both boxed every element and
+   ordered [nan] inconsistently, silently corrupting percentiles of any
+   sample containing one. *)
+let sorted_array xs =
+  let a = Array.of_list xs in
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg "Stats: NaN in sample") a;
+  Array.sort Float.compare a;
+  a
+
+let percentile_sorted a p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  let n = Array.length a in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then a.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. w)) +. (a.(hi) *. w)
+
 let percentile xs p =
   match xs with
   | [] -> invalid_arg "Stats.percentile: empty sample"
-  | _ ->
-      if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
-      let a = Array.of_list xs in
-      Array.sort compare a;
-      let n = Array.length a in
-      let rank = p *. float_of_int (n - 1) in
-      let lo = int_of_float (Float.floor rank) in
-      let hi = int_of_float (Float.ceil rank) in
-      if lo = hi then a.(lo)
-      else
-        let w = rank -. float_of_int lo in
-        (a.(lo) *. (1.0 -. w)) +. (a.(hi) *. w)
+  | _ -> percentile_sorted (sorted_array xs) p
 
 let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty sample"
   | _ ->
+      let a = sorted_array xs in
       {
-        count = List.length xs;
+        count = Array.length a;
         mean = mean xs;
         stddev = stddev xs;
         ci95 = ci95_halfwidth xs;
-        min = List.fold_left Float.min Float.infinity xs;
-        max = List.fold_left Float.max Float.neg_infinity xs;
-        median = percentile xs 0.5;
-        p90 = percentile xs 0.9;
-        p99 = percentile xs 0.99;
+        min = a.(0);
+        max = a.(Array.length a - 1);
+        median = percentile_sorted a 0.5;
+        p90 = percentile_sorted a 0.9;
+        p99 = percentile_sorted a 0.99;
       }
 
 module Online = struct

@@ -18,13 +18,18 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** [summarize xs] computes all summary statistics of the sample.
-    @raise Invalid_argument on an empty sample. *)
+(** [summarize xs] computes all summary statistics of the sample (the
+    order statistics share a single sorted copy of the data).
+    @raise Invalid_argument on an empty sample or a sample containing
+    NaN. *)
 
 val mean : float list -> float
 val stddev : float list -> float
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [\[0,1\]], linear interpolation. *)
+(** [percentile xs p] with [p] in [\[0,1\]], linear interpolation.
+    Sorts with [Float.compare].
+    @raise Invalid_argument on an empty sample, a sample containing
+    NaN, or [p] outside [\[0,1\]]. *)
 
 val ci95_halfwidth : float list -> float
 (** Half width of the 95% two-sided Student-t confidence interval for the

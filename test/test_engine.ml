@@ -41,6 +41,47 @@ let test_cancel () =
   (* double cancel is a no-op *)
   Net.Engine.cancel engine handle
 
+let test_cancel_updates_pending () =
+  (* the old pending counted cancelled events still sitting in the
+     heap, so run_while loops driven by pending spun on dead work *)
+  let engine = Net.Engine.create () in
+  let h1 = Net.Engine.schedule engine ~delay:1.0 (fun () -> ()) in
+  ignore (Net.Engine.schedule engine ~delay:2.0 (fun () -> ()));
+  ignore (Net.Engine.schedule engine ~delay:3.0 (fun () -> ()));
+  Alcotest.(check int) "three live" 3 (Net.Engine.pending engine);
+  Net.Engine.cancel engine h1;
+  Alcotest.(check int) "cancel drops pending" 2 (Net.Engine.pending engine);
+  Alcotest.(check int) "corpse still heaped" 3 (Net.Engine.heap_size engine);
+  (* double cancel must not decrement twice *)
+  Net.Engine.cancel engine h1;
+  Alcotest.(check int) "idempotent" 2 (Net.Engine.pending engine)
+
+let test_cancelled_head_run_until () =
+  (* a cancelled event at the head is discarded by the horizon sweep
+     without firing and without perturbing the live count *)
+  let engine = Net.Engine.create () in
+  let fired = ref [] in
+  let h1 = Net.Engine.schedule engine ~delay:1.0 (fun () -> fired := 1 :: !fired) in
+  ignore (Net.Engine.schedule engine ~delay:2.0 (fun () -> fired := 2 :: !fired));
+  ignore (Net.Engine.schedule engine ~delay:3.0 (fun () -> fired := 3 :: !fired));
+  Net.Engine.cancel engine h1;
+  Net.Engine.run engine ~until:1.5;
+  Alcotest.(check (list int)) "cancelled head never fires" [] !fired;
+  Alcotest.(check int) "two live after sweep" 2 (Net.Engine.pending engine);
+  Alcotest.(check int) "corpse popped" 2 (Net.Engine.heap_size engine);
+  Net.Engine.run engine;
+  Alcotest.(check (list int)) "survivors fire" [ 2; 3 ] (List.rev !fired);
+  Alcotest.(check int) "drained" 0 (Net.Engine.pending engine)
+
+let test_pending_after_fire () =
+  let engine = Net.Engine.create () in
+  for i = 1 to 4 do
+    ignore (Net.Engine.schedule engine ~delay:(float_of_int i) (fun () -> ()))
+  done;
+  Net.Engine.run engine ~until:2.5;
+  Alcotest.(check int) "fired events leave pending" 2 (Net.Engine.pending engine);
+  Alcotest.(check int) "and the heap" 2 (Net.Engine.heap_size engine)
+
 let test_run_until () =
   let engine = Net.Engine.create () in
   let count = ref 0 in
@@ -160,6 +201,9 @@ let suite =
       Alcotest.test_case "tie break fifo" `Quick test_tie_break_fifo;
       Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
       Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "cancel updates pending" `Quick test_cancel_updates_pending;
+      Alcotest.test_case "cancelled head swept" `Quick test_cancelled_head_run_until;
+      Alcotest.test_case "pending after fire" `Quick test_pending_after_fire;
       Alcotest.test_case "run until" `Quick test_run_until;
       Alcotest.test_case "run while" `Quick test_run_while;
       Alcotest.test_case "max events" `Quick test_max_events;

@@ -20,5 +20,6 @@ let () =
       Test_misc_units.suite;
       Test_ordered_log.suite;
       Test_harness.suite;
+      Test_pool.suite;
       Test_chaos.suite;
     ]

@@ -27,6 +27,31 @@ let test_percentiles () =
 let test_percentile_unsorted_input () =
   feq "unsorted" 2.0 (Util.Stats.percentile [ 3.0; 1.0; 2.0 ] 0.5)
 
+let test_nan_rejected () =
+  (* the old polymorphic-compare sort left NaN wherever it landed,
+     silently poisoning the order statistics *)
+  Alcotest.check_raises "percentile" (Invalid_argument "Stats: NaN in sample") (fun () ->
+      ignore (Util.Stats.percentile [ 1.0; Float.nan; 2.0 ] 0.5));
+  Alcotest.check_raises "summarize" (Invalid_argument "Stats: NaN in sample") (fun () ->
+      ignore (Util.Stats.summarize [ Float.nan ]))
+
+let test_order_stats_consistent () =
+  (* summarize shares one Float.compare-sorted array; its order
+     statistics must agree with standalone percentile calls even on
+     adversarial inputs (negative zero, infinities, denormals) *)
+  let xs = [ 7.5; -0.0; 0.0; 4.2; 1e-320; -3.0; 9.0; 2.5 ] in
+  let s = Util.Stats.summarize xs in
+  feq "median matches" (Util.Stats.percentile xs 0.5) s.median;
+  feq "p90 matches" (Util.Stats.percentile xs 0.9) s.p90;
+  feq "p99 matches" (Util.Stats.percentile xs 0.99) s.p99;
+  feq "min" (-3.0) s.min;
+  feq "max" 9.0 s.max;
+  (* infinities sort to the extremes under Float.compare *)
+  let inf = Util.Stats.summarize [ 1.0; infinity; neg_infinity ] in
+  Alcotest.(check bool) "-inf min" true (inf.min = neg_infinity);
+  Alcotest.(check bool) "+inf max" true (inf.max = infinity);
+  feq "finite median" 1.0 inf.median
+
 let test_t_critical () =
   feq ~eps:1e-6 "df=1" 12.706 (Util.Stats.t_critical_95 1);
   feq ~eps:1e-6 "df=10" 2.228 (Util.Stats.t_critical_95 10);
@@ -91,6 +116,8 @@ let suite =
       Alcotest.test_case "stddev constant" `Quick test_stddev_constant;
       Alcotest.test_case "percentiles" `Quick test_percentiles;
       Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+      Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+      Alcotest.test_case "order stats consistent" `Quick test_order_stats_consistent;
       Alcotest.test_case "t critical values" `Quick test_t_critical;
       Alcotest.test_case "ci95" `Quick test_ci95;
       Alcotest.test_case "summarize" `Quick test_summarize;
