@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json pool-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json pool-smoke memo-smoke chaos clean
 
 all: build
 
@@ -25,16 +25,23 @@ chaos:
 pool-smoke:
 	dune exec bin/turquois_lab.exe -- sigma --size 4 --runs 2 --rounds 40 -j 2 > /dev/null
 
+# memo smoke: the hot-path contract — every result must be bit-identical
+# with the single-run memoization off and on (exits non-zero otherwise)
+memo-smoke:
+	dune exec bin/turquois_lab.exe -- memocheck --quiet
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
-# the chaos smoke sweep and the parallel-pool smoke
-check: fmt build test chaos pool-smoke
+# the chaos smoke sweep, the parallel-pool smoke and the memo smoke
+check: fmt build test chaos pool-smoke memo-smoke
 
 bench:
 	dune exec bench/main.exe -- --quick
 
-# regenerate the committed pool wall-clock baseline
+# regenerate the committed hot-path wall-clock baseline; the bench
+# itself fails if memoized and unmemoized results diverge, so this
+# doubles as the perf regression gate
 bench-json:
-	dune exec bench/main.exe -- --pool-baseline BENCH_pr3.json
+	dune exec bench/main.exe -- --hotpath-baseline BENCH_pr5.json
 
 clean:
 	dune clean

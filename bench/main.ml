@@ -28,6 +28,7 @@ let seed = ref 1000L
 let json_out = ref None
 let jobs = ref (Harness.Pool.default_jobs ())
 let pool_baseline = ref None
+let hotpath_baseline = ref None
 
 let speclist =
   [
@@ -81,6 +82,10 @@ let speclist =
       Arg.String (fun f -> pool_baseline := Some f),
       "FILE time a fixed grid sequentially and at -j N, write the comparison to \
        FILE, and run nothing else" );
+    ( "--hotpath-baseline",
+      Arg.String (fun f -> hotpath_baseline := Some f),
+      "FILE time a fixed grid with the hot-path memoization off and on, assert \
+       bit-identical results, write the comparison to FILE, and run nothing else" );
   ]
 
 let banner title =
@@ -445,6 +450,105 @@ let run_pool_baseline file =
      results identical across jobs: %b\nwrote %s\n"
     sweep_seq_s sweep_par_s !jobs cell_seq_s cell_par_s !jobs identical file
 
+(* --- hot-path baseline ------------------------------------------------------ *)
+
+(* Wall-clock of a fixed grid with the single-run fast path disabled vs
+   enabled. Everything runs at -j 1 so the comparison isolates the memo
+   layers (frame interning, proof-digest cache, shared key material)
+   from pool parallelism. The grid's rows, cell aggregates, chaos
+   report and merged metrics — minus the memo instrumentation counters
+   themselves — are asserted equal across the two passes, which is the
+   hot-path contract: the fast path may only change wall-clock time,
+   never a simulated result. The key caches are dropped before each
+   pass so both sides pay their own key generation. *)
+let run_hotpath_baseline file =
+  banner "Hot-path baseline: memoization off vs on wall clock (-j 1)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let n = 8 in
+  let k = n - Net.Fault.max_f n in
+  let sweep () =
+    Harness.Sweeps.sigma_sweep_merged ~n ~k ~runs_per_point:8 ~rounds:90 ~beyond:3
+      ~base_seed:!seed ~jobs:1 ()
+  in
+  let cell () =
+    Harness.Experiment.run_cell ~reps:12 ~base_seed:!seed ~jobs:1
+      {
+        Harness.Experiment.protocol = Harness.Runner.Turquois;
+        n = 7;
+        dist = Harness.Runner.Divergent;
+        load = Net.Fault.Failure_free;
+      }
+  in
+  let chaos () =
+    Harness.Chaos.run_chaos ~n:4 ~runs:20 ~jobs:1 ~seed:!seed ()
+  in
+  let pass memo f () =
+    Core.Intern.with_memo memo (fun () ->
+        Harness.Runner.clear_key_cache ();
+        time f)
+  in
+  Printf.printf "sigma sweep (unmemoized pass may take minutes)...\n%!";
+  let (rows_off, metrics_off), sweep_off_s = pass false sweep () in
+  let (rows_on, metrics_on), sweep_on_s = pass true sweep () in
+  let cell_off, cell_off_s = pass false cell () in
+  let cell_on, cell_on_s = pass true cell () in
+  let chaos_off, chaos_off_s = pass false chaos () in
+  let chaos_on, chaos_on_s = pass true chaos () in
+  let identical =
+    rows_off = rows_on
+    && Core.Intern.strip_metrics metrics_off = Core.Intern.strip_metrics metrics_on
+    && cell_off = cell_on
+    && chaos_off = chaos_on
+  in
+  if not identical then
+    failwith "hotpath baseline: memoized and unmemoized results differ";
+  let section name off on =
+    Obs.Json.Obj
+      [
+        ("grid", Obs.Json.String name);
+        ("unmemoized_s", Obs.Json.Float off);
+        ("memoized_s", Obs.Json.Float on);
+        ("speedup", Obs.Json.Float (if on > 0.0 then off /. on else 0.0));
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "hotpath");
+        ("seed", Obs.Json.String (Int64.to_string !seed));
+        ("identical_results", Obs.Json.Bool identical);
+        ( "sections",
+          Obs.Json.List
+            [
+              section
+                (Printf.sprintf "sigma-sweep n=%d 8 runs/point 90 rounds" n)
+                sweep_off_s sweep_on_s;
+              section "table1 turquois n=7 divergent 12 reps" cell_off_s cell_on_s;
+              section "chaos n=4 20 runs" chaos_off_s chaos_on_s;
+            ] );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "sigma sweep: %.2f s unmemoized, %.2f s memoized (%.1fx)\n\
+     table cell:  %.2f s unmemoized, %.2f s memoized (%.1fx)\n\
+     chaos:       %.2f s unmemoized, %.2f s memoized (%.1fx)\n\
+     results identical with memoization on and off: %b\nwrote %s\n"
+    sweep_off_s sweep_on_s
+    (if sweep_on_s > 0.0 then sweep_off_s /. sweep_on_s else 0.0)
+    cell_off_s cell_on_s
+    (if cell_on_s > 0.0 then cell_off_s /. cell_on_s else 0.0)
+    chaos_off_s chaos_on_s
+    (if chaos_on_s > 0.0 then chaos_off_s /. chaos_on_s else 0.0)
+    identical file
+
 (* --- section 4: bechamel --------------------------------------------------- *)
 
 open Bechamel
@@ -542,11 +646,14 @@ let () =
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "bench/main.exe [options]";
-  match !pool_baseline with
-  | Some file ->
+  match (!pool_baseline, !hotpath_baseline) with
+  | Some file, _ ->
       run_pool_baseline file;
       print_endline "benchmark complete."
-  | None ->
+  | None, Some file ->
+      run_hotpath_baseline file;
+      print_endline "benchmark complete."
+  | None, None ->
   let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
   let adversary_results = if !adversary then run_adversary () else [] in

@@ -18,7 +18,19 @@ let load_of_table = function
   | 3 -> Net.Fault.Byzantine
   | t -> invalid_arg (Printf.sprintf "no table %d (1, 2 or 3)" t)
 
-let run_tables tables reps sizes seed timeout compare quiet jobs =
+let no_memo_arg =
+  let doc =
+    "Disable the single-run hot-path memoization (frame interning, proof-digest \
+     cache, shared pre-distributed key material). Results are bit-identical \
+     either way; this escape hatch only trades speed for simplicity when \
+     timing or debugging the receive path."
+  in
+  Arg.(value & flag & info [ "no-memo" ] ~doc)
+
+let apply_memo no_memo = Core.Intern.set_enabled (not no_memo)
+
+let run_tables tables reps sizes seed timeout compare quiet jobs no_memo =
+  apply_memo no_memo;
   let options =
     {
       Harness.Experiment.default_options with
@@ -79,19 +91,20 @@ let jobs_arg =
   Arg.(value & opt int (Harness.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let tables_cmd =
-  let make tables reps sizes seed timeout compare quiet jobs =
+  let make tables reps sizes seed timeout compare quiet jobs no_memo =
     let tables = match tables with [] -> [ 1; 2; 3 ] | l -> l in
-    run_tables tables reps sizes seed timeout compare quiet jobs
+    run_tables tables reps sizes seed timeout compare quiet jobs no_memo
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's latency tables (Tables 1-3)")
     Term.(
       const make $ tables_arg $ reps_arg 50 $ sizes_arg $ seed_arg $ timeout_arg
-      $ compare_arg $ quiet_arg $ jobs_arg)
+      $ compare_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
 
 (* --- sigma ---------------------------------------------------------------- *)
 
-let run_sigma n k byz runs rounds beyond seed jobs =
+let run_sigma n k byz runs rounds beyond seed jobs no_memo =
+  apply_memo no_memo;
   let k = match k with Some k -> k | None -> n - Net.Fault.max_f n in
   let byzantine = List.init byz (fun i -> n - 1 - i) in
   let rows =
@@ -124,11 +137,12 @@ let sigma_cmd =
     (Cmd.info "sigma" ~doc:"Sweep omissions per round around the sigma liveness bound")
     Term.(
       const run_sigma $ n_arg $ k_arg $ byz_arg $ runs_arg $ rounds_arg $ beyond_arg
-      $ seed_arg $ jobs_arg)
+      $ seed_arg $ jobs_arg $ no_memo_arg)
 
 (* --- phases ---------------------------------------------------------------- *)
 
-let run_phases n reps seed jobs =
+let run_phases n reps seed jobs no_memo =
+  apply_memo no_memo;
   let rows =
     Harness.Sweeps.phase_distribution ~n ~reps ~base_seed:seed ~jobs
       ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
@@ -140,7 +154,7 @@ let phases_cmd =
   let n_arg = Arg.(value & opt int 10 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
   Cmd.v
     (Cmd.info "phases" ~doc:"Turquois decision-phase distributions (paper 7.3)")
-    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg $ jobs_arg)
+    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg $ jobs_arg $ no_memo_arg)
 
 (* --- messages ---------------------------------------------------------------- *)
 
@@ -205,7 +219,8 @@ let load_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
 
-let run_single protocol n divergent load seed loss trace metrics trace_json jobs =
+let run_single protocol n divergent load seed loss trace metrics trace_json jobs no_memo =
+  apply_memo no_memo;
   let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
   let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
   (* trace buffers are domain-local, so a meaningful event order only
@@ -283,7 +298,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"One verbose consensus execution")
     Term.(
       const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg
-      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ jobs_arg)
+      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ jobs_arg $ no_memo_arg)
 
 (* --- chaos ------------------------------------------------------------------ *)
 
@@ -299,7 +314,8 @@ let strategy_conv =
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Strategy.name s))
 
-let run_chaos runs seed n strategy broken quiet jobs =
+let run_chaos runs seed n strategy broken quiet jobs no_memo =
+  apply_memo no_memo;
   let log = if quiet then fun _ -> () else progress in
   let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
   let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~log ~jobs ~runs ~seed () in
@@ -346,7 +362,79 @@ let chaos_cmd =
        ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
     Term.(
       const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg $ quiet_arg
-      $ jobs_arg)
+      $ jobs_arg $ no_memo_arg)
+
+(* --- memocheck --------------------------------------------------------------- *)
+
+(* Fast equivalence smoke for the hot-path contract: a run per Byzantine
+   strategy, a small sigma sweep and a small chaos plan, each executed
+   with memoization off and then on. Any difference between the two
+   passes is a fast-path bug; the memo instrumentation counters are the
+   only series excluded from the comparison, since only the memoized
+   pass emits them. *)
+let run_memocheck seed quiet =
+  let diverged = ref [] in
+  let check name equal =
+    if equal then begin
+      if not quiet then Printf.printf "  ok: %s\n%!" name
+    end
+    else begin
+      diverged := name :: !diverged;
+      Printf.printf "  DIVERGED: %s\n%!" name
+    end
+  in
+  let both f =
+    let pass memo =
+      Core.Intern.with_memo memo (fun () ->
+          Harness.Runner.clear_key_cache ();
+          f ())
+    in
+    (pass false, pass true)
+  in
+  let strip (r : Harness.Runner.result) =
+    { r with metrics = Core.Intern.strip_metrics r.metrics }
+  in
+  List.iter
+    (fun strategy ->
+      let off, on =
+        both (fun () ->
+            Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:4
+              ~dist:Harness.Runner.Divergent ~load:Net.Fault.Byzantine ~strategy ~seed ())
+      in
+      check
+        (Printf.sprintf "byzantine strategy %s" (Core.Strategy.name strategy))
+        (strip off = strip on))
+    Core.Strategy.all;
+  let k = 4 - Net.Fault.max_f 4 in
+  let (rows_off, m_off), (rows_on, m_on) =
+    both (fun () ->
+        Harness.Sweeps.sigma_sweep_merged ~n:4 ~k ~runs_per_point:2 ~rounds:30
+          ~beyond:1 ~base_seed:seed ~jobs:1 ())
+  in
+  check "sigma sweep rows" (rows_off = rows_on);
+  check "sigma sweep merged metrics"
+    (Core.Intern.strip_metrics m_off = Core.Intern.strip_metrics m_on);
+  let chaos_off, chaos_on =
+    both (fun () -> Harness.Chaos.run_chaos ~n:4 ~runs:6 ~jobs:1 ~seed ())
+  in
+  check "chaos plan" (chaos_off = chaos_on);
+  if !diverged = [] then begin
+    Printf.printf "memocheck: results identical with memoization off and on\n";
+    0
+  end
+  else begin
+    Printf.printf "memocheck: %d divergence(s): %s\n" (List.length !diverged)
+      (String.concat ", " (List.rev !diverged));
+    1
+  end
+
+let memocheck_cmd =
+  Cmd.v
+    (Cmd.info "memocheck"
+       ~doc:
+         "Verify the hot-path contract: every result is bit-identical with \
+          memoization off and on")
+    Term.(const run_memocheck $ seed_arg $ quiet_arg)
 
 (* --- analyze ---------------------------------------------------------------- *)
 
@@ -392,6 +480,15 @@ let analyze_cmd =
 let main_cmd =
   let doc = "Turquois (DSN 2010) reproduction laboratory" in
   Cmd.group (Cmd.info "turquois-lab" ~doc)
-    [ tables_cmd; sigma_cmd; phases_cmd; messages_cmd; run_cmd; chaos_cmd; analyze_cmd ]
+    [
+      tables_cmd;
+      sigma_cmd;
+      phases_cmd;
+      messages_cmd;
+      run_cmd;
+      chaos_cmd;
+      memocheck_cmd;
+      analyze_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

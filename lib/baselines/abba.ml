@@ -20,7 +20,8 @@ type group_keys = {
 
 let setup_keys rng ~n ~f ?(rsa_bits = 512) () =
   if n <= 3 * f then invalid_arg "Abba.setup_keys: need n > 3f";
-  let rsa = Array.init n (fun _ -> Crypto.Rsa.generate rng ~bits:rsa_bits) in
+  (* the generator draws from [rng]: application order must be pinned *)
+  let rsa = Util.Init.array n (fun _ -> Crypto.Rsa.generate rng ~bits:rsa_bits) in
   let pubs = Array.map (fun (kp : Crypto.Rsa.keypair) -> kp.pub) rsa in
   let coin_params, coin_keys = Crypto.Coin.setup rng ~n ~threshold:(f + 1) () in
   { gk_n = n; gk_f = f; rsa; pubs; coin_params; coin_keys }
@@ -57,7 +58,8 @@ let encode_shares w shares =
 
 let decode_shares r =
   let count = Util.Codec.R.u16 r in
-  List.init count (fun _ -> Crypto.Coin.share_of_bytes (Util.Codec.R.bytes_lp r))
+  (* the closure advances the reader: application order must be pinned *)
+  Util.Init.list count (fun _ -> Crypto.Coin.share_of_bytes (Util.Codec.R.bytes_lp r))
 
 let encode message =
   let w = Util.Codec.W.create ~capacity:256 () in

@@ -37,6 +37,16 @@ val check :
 val check_message : t -> Message.t -> bool
 (** {!check} applied to a message's own fields. *)
 
+val check_with :
+  hash:(bytes -> bytes) -> t -> signer:int -> phase:int -> value:Proto.value ->
+  origin:Proto.origin -> proof:bytes -> bool
+
+val check_message_with : hash:(bytes -> bytes) -> t -> Message.t -> bool
+(** {!check} / {!check_message} with the proof hash computed by [hash]
+    (must be extensionally [Sha256.digest]); see
+    {!Crypto.Onetime_sig.check_with}. [Intern.check_message] routes
+    through this to share one digest per distinct broadcast proof. *)
+
 val slice : t -> offset:int -> phases:int -> t
 (** [slice t ~offset ~phases] is a view of the same key material whose
     phase [p] maps to the underlying phase [offset + p] — the paper's

@@ -446,7 +446,7 @@ let handle t { Message.msg; justification } =
     end
     else begin
       incr auth_checks;
-      if Keyring.check_message t.keyring m then begin
+      if Intern.check_message t.keyring m then begin
         record_decided_claim t m;
         pending_add t m
       end

@@ -57,26 +57,23 @@ let read_msg r =
   { sender; phase; value; origin; status; proof }
 
 let encode env =
-  let w = Util.Codec.W.create ~capacity:64 () in
-  write_msg w env.msg;
-  Util.Codec.W.u16 w (List.length env.justification);
-  List.iter (write_msg w) env.justification;
-  Util.Codec.W.contents w
+  Util.Codec.W.with_scratch (fun w ->
+      write_msg w env.msg;
+      Util.Codec.W.u16 w (List.length env.justification);
+      List.iter (write_msg w) env.justification)
 
 let decode b =
   let r = Util.Codec.R.of_bytes b in
   let msg = read_msg r in
   let count = Util.Codec.R.u16 r in
-  let justification = List.init count (fun _ -> read_msg r) in
+  (* the closure advances the reader: application order must be pinned *)
+  let justification = Util.Init.list count (fun _ -> read_msg r) in
   Util.Codec.R.expect_end r;
   { msg; justification }
 
 let encoded_size env = Bytes.length (encode env)
 
-let msg_to_bytes m =
-  let w = Util.Codec.W.create ~capacity:48 () in
-  write_msg w m;
-  Util.Codec.W.contents w
+let msg_to_bytes m = Util.Codec.W.with_scratch (fun w -> write_msg w m)
 
 let msg_of_bytes b =
   let r = Util.Codec.R.of_bytes b in

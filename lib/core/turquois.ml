@@ -122,7 +122,20 @@ let broadcast_state t ~justify =
       Net.Node.broadcast t.node ~port:t.port (Message.encode envelope)
   | Machine.Per_receiver frames ->
       (* equivocation: ship each receiver its private copy as a unicast
-         so nobody overhears the contradicting frame *)
+         so nobody overhears the contradicting frame. The copies fall
+         into a few content classes (e.g. V0 to evens, V1 to odds), so
+         each distinct envelope is encoded once and the bytes shared —
+         the datagram layer copies payloads into wire frames, so the
+         sharing never aliases *)
+      let encoded : (Message.envelope * bytes) list ref = ref [] in
+      let encode_once (envelope : Message.envelope) =
+        match List.find_opt (fun (e, _) -> e = envelope) !encoded with
+        | Some (_, bytes) -> bytes
+        | None ->
+            let bytes = Message.encode envelope in
+            encoded := (envelope, bytes) :: !encoded;
+            bytes
+      in
       List.iter
         (fun (rx, (envelope : Message.envelope)) ->
           count_broadcast t envelope;
@@ -133,7 +146,7 @@ let broadcast_state t ~justify =
               ("to", Obs.Trace2.I rx);
               ("msg", Obs.Trace2.S (Message.describe envelope.msg));
             ];
-          Net.Node.unicast t.node ~dst:rx ~port:t.port (Message.encode envelope))
+          Net.Node.unicast t.node ~dst:rx ~port:t.port (encode_once envelope))
         frames
 
 let rec arm_tick t =
@@ -200,7 +213,9 @@ let react t events =
   end
 
 let on_datagram t ~src:_ payload =
-  match Message.decode payload with
+  (* broadcast deliveries re-materialize the same payload bytes at each
+     receiver; Intern memoizes the decode per run *)
+  match Intern.decode payload with
   | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
   | envelope ->
       let events, auth_checks = Machine.handle t.machine envelope in

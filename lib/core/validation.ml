@@ -2,13 +2,18 @@ type verdict = Valid | Invalid of string
 
 let invalidf fmt = Printf.ksprintf (fun s -> Invalid s) fmt
 
+(* Closed forms of "the largest p < phi with p mod 3 = r" (0 when none
+   exists). Lock phases are p ≡ 2 (mod 3) starting at 2; decide phases
+   are p ≡ 0 (mod 3) starting at 3. Starting from m = phi - 1, subtract
+   m's residue distance to the target class; test_validation checks
+   both against the recursive descent exhaustively for phi = 1..200. *)
 let highest_lock_phase_below phi =
-  let rec go p = if p < 2 then 0 else if p mod 3 = 2 then p else go (p - 1) in
-  go (phi - 1)
+  let m = phi - 1 in
+  if m < 2 then 0 else m - ((m - 2) mod 3)
 
 let highest_decide_phase_below phi =
-  let rec go p = if p < 3 then 0 else if p mod 3 = 0 then p else go (p - 1) in
-  go (phi - 1)
+  let m = phi - 1 in
+  if m < 3 then 0 else m - (m mod 3)
 
 let check_phase cfg v (m : Message.t) =
   if m.phase < 1 then invalidf "phase %d below 1" m.phase

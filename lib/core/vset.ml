@@ -5,12 +5,29 @@ type t = {
      equivocating sender's other messages. At most one stored copy per
      value, so a slot holds <= 3 messages total. *)
   extras : (int * int, Message.t list) Hashtbl.t;
+  (* incremental tallies — Validation probes count_phase/count_value on
+     every candidate message, so the counts are maintained on insert
+     instead of rescanning the phase row. Messages are never removed,
+     so increments suffice. *)
+  phase_tally : (int, int) Hashtbl.t;        (* phase -> senders with a primary *)
+  value_tally : (int * int, int) Hashtbl.t;  (* (phase, value code) -> supporters *)
   mutable highest : Message.t option;
   mutable total : int;
 }
 
 let create ~n =
-  { n; by_phase = Hashtbl.create 32; extras = Hashtbl.create 4; highest = None; total = 0 }
+  {
+    n;
+    by_phase = Hashtbl.create 32;
+    extras = Hashtbl.create 4;
+    phase_tally = Hashtbl.create 32;
+    value_tally = Hashtbl.create 32;
+    highest = None;
+    total = 0;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let row t phase =
   match Hashtbl.find_opt t.by_phase phase with
@@ -39,6 +56,8 @@ let add t (m : Message.t) =
     | None ->
         slots.(m.sender) <- Some m;
         t.total <- t.total + 1;
+        bump t.phase_tally m.phase;
+        bump t.value_tally (m.phase, Proto.value_to_int m.value);
         (match t.highest with
         | Some h when h.phase >= m.phase -> ()
         | Some _ | None -> t.highest <- Some m);
@@ -56,6 +75,10 @@ let add t (m : Message.t) =
           Hashtbl.replace t.extras (m.sender, m.phase)
             (m :: Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, m.phase)));
           t.total <- t.total + 1;
+          (* an extra always sits next to a primary from the same
+             sender, so the phase tally is unchanged; the sender now
+             additionally supports this (previously unseen) value *)
+          bump t.value_tally (m.phase, Proto.value_to_int m.value);
           true
         end
   end
@@ -78,27 +101,15 @@ let fold_phase t phase f acc =
         (fun acc slot -> match slot with Some m -> f acc m | None -> acc)
         acc slots
 
-let count_phase t ~phase = fold_phase t phase (fun acc _ -> acc + 1) 0
+let count_phase t ~phase =
+  Option.value ~default:0 (Hashtbl.find_opt t.phase_tally phase)
 
 let count_value t ~phase ~value =
   (* distinct senders with ANY copy carrying [value]: an equivocating
-     sender supports every value it signed *)
-  match Hashtbl.find_opt t.by_phase phase with
-  | None -> 0
-  | Some slots ->
-      let count = ref 0 in
-      Array.iteri
-        (fun sender slot ->
-          match slot with
-          | None -> ()
-          | Some _ ->
-              if
-                List.exists
-                  (fun (c : Message.t) -> Proto.value_equal c.value value)
-                  (copies t ~sender ~phase)
-              then incr count)
-        slots;
-      !count
+     sender supports every value it signed. Stored copies are
+     value-distinct per (sender, phase), so each sender bumps a value's
+     tally at most once. *)
+  Option.value ~default:0 (Hashtbl.find_opt t.value_tally (phase, Proto.value_to_int value))
 
 let messages_at t ~phase =
   match Hashtbl.find_opt t.by_phase phase with

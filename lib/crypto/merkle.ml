@@ -81,8 +81,9 @@ let path_to_bytes p =
 let path_of_bytes b =
   let r = Util.Codec.R.of_bytes b in
   let n = Util.Codec.R.u16 r in
+  (* the closure advances the reader: application order must be pinned *)
   let p =
-    List.init n (fun _ ->
+    Util.Init.list n (fun _ ->
         match Util.Codec.R.u8 r with
         | 1 -> Some (Util.Codec.R.bytes r Sha256.digest_size)
         | 0 -> None

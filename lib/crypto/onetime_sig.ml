@@ -28,7 +28,8 @@ let idx phase slot = ((phase - 1) * slot_count) + slot_index slot
 let generate rng ~owner ~phases =
   if phases <= 0 then invalid_arg "Onetime_sig.generate: phases must be positive";
   let total = phases * slot_count in
-  let sk = Array.init total (fun _ -> Util.Rng.bytes rng key_len) in
+  (* the closure draws from [rng]: application order must be pinned *)
+  let sk = Util.Init.array total (fun _ -> Util.Rng.bytes rng key_len) in
   let vk = Array.map Sha256.digest sk in
   ( { s_owner = owner; s_phases = phases; sk },
     { v_owner = owner; v_phases = phases; vk } )
@@ -42,10 +43,18 @@ let reveal secret ~phase slot =
     invalid_arg (Printf.sprintf "Onetime_sig.reveal: phase %d out of range" phase);
   secret.sk.(idx phase slot)
 
-let check verifier ~phase slot ~proof =
+(* [hash] must be extensionally equal to [Sha256.digest]; the hot-path
+   memo (Core.Intern) passes a per-run digest cache through here so a
+   proof broadcast to n receivers is hashed once, not n times. The
+   verdict is a pure function of the proof bytes, so a digest cache
+   cannot be poisoned across signers, phases or slots. *)
+let check_with ~hash verifier ~phase slot ~proof =
   phase >= 1 && phase <= verifier.v_phases
   && Bytes.length proof = key_len
-  && Bytes.equal (Sha256.digest proof) verifier.vk.(idx phase slot)
+  && Bytes.equal (hash proof) verifier.vk.(idx phase slot)
+
+let check verifier ~phase slot ~proof =
+  check_with ~hash:Sha256.digest verifier ~phase slot ~proof
 
 let verifier_to_bytes v =
   let w = Util.Codec.W.create ~capacity:(16 + (Array.length v.vk * key_len)) () in
@@ -60,7 +69,8 @@ let verifier_of_bytes b =
   let v_phases = Util.Codec.R.u32 r in
   if v_phases <= 0 || v_phases > 1_000_000 then
     raise (Util.Codec.Malformed "verifier: implausible phase count");
-  let vk = Array.init (v_phases * slot_count) (fun _ -> Util.Codec.R.bytes r key_len) in
+  (* the closure advances the reader: application order must be pinned *)
+  let vk = Util.Init.array (v_phases * slot_count) (fun _ -> Util.Codec.R.bytes r key_len) in
   Util.Codec.R.expect_end r;
   { v_owner; v_phases; vk }
 

@@ -47,6 +47,14 @@ val check : verifier -> phase:int -> slot -> proof:bytes -> bool
     pre-distributed verification key. Total: wrong sizes or phases out
     of range return [false]. *)
 
+val check_with :
+  hash:(bytes -> bytes) -> verifier -> phase:int -> slot -> proof:bytes -> bool
+(** {!check} with the proof hash computed by [hash], which must be
+    extensionally equal to [Sha256.digest] — the hook through which the
+    hot-path digest memo ([Core.Intern]) deduplicates hashing when one
+    broadcast proof is verified at every receiver. [hash] is only
+    invoked after the phase and length guards pass. *)
+
 val verifier_to_bytes : verifier -> bytes
 val verifier_of_bytes : bytes -> verifier
 (** @raise Util.Codec.Malformed / Truncated on garbage. *)

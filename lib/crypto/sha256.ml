@@ -18,6 +18,12 @@ let k =
     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
   |]
 
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
 type ctx = {
   h : int array;           (* 8 state words *)
   block : Bytes.t;         (* 64-byte block buffer *)
@@ -29,11 +35,7 @@ type ctx = {
 
 let init () =
   {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-        0x1f83d9ab; 0x5be0cd19;
-      |];
+    h = Array.copy iv;
     block = Bytes.create 64;
     block_len = 0;
     total = 0;
@@ -43,28 +45,34 @@ let init () =
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let compress ctx block off =
-  let w = ctx.w in
+(* unsafe accessors: every index below is bounded by construction
+   (0..15 over a >= off+64 byte block, 0..63 over the 64-entry
+   schedule), and this loop dominates the simulator's host CPU time *)
+let compress_core h w block off =
   for i = 0 to 15 do
     let j = off + (4 * i) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for i = 16 to 63 do
-    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (i - 15) in
+    let w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask)
   done;
-  let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask in
@@ -85,6 +93,19 @@ let compress ctx block off =
   h.(5) <- (h.(5) + !f) land mask;
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
+
+let compress ctx block off = compress_core ctx.h ctx.w block off
+
+let emit h =
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = h.(i) in
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
+  done;
+  out
 
 let update ctx data =
   if ctx.finalized then invalid_arg "Sha256.update: context already finalized";
@@ -131,20 +152,38 @@ let finalize ctx =
   update ctx tail;
   ctx.finalized <- true;
   assert (ctx.block_len = 0);
-  let out = Bytes.create 32 in
-  for i = 0 to 7 do
-    let v = ctx.h.(i) in
-    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
-    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
-    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
-    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
-  done;
-  out
+  emit ctx.h
+
+(* Single-block fast path. A message of <= 55 bytes pads into exactly
+   one 64-byte block (data, 0x80, zeros, 64-bit bit length), so the
+   digest is one [compress_core] over domain-local scratch: no ctx, no
+   per-call allocation beyond the 32-byte output. This covers the
+   dominant call on the simulator's critical path — hashing 32-byte
+   one-time-signature proofs ({!Onetime_sig.check}). *)
+let scratch : (int array * int array * Bytes.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Array.make 8 0, Array.make 64 0, Bytes.create 64))
 
 let digest data =
-  let ctx = init () in
-  update ctx data;
-  finalize ctx
+  let len = Bytes.length data in
+  if len <= 55 then begin
+    let h, w, block = Domain.DLS.get scratch in
+    Array.blit iv 0 h 0 8;
+    Bytes.blit data 0 block 0 len;
+    Bytes.unsafe_set block len '\x80';
+    (* zero len+1 .. 63, then write the bit length (< 2^16 here) into
+       the last two bytes; bytes 56..61 of the length field stay zero *)
+    Bytes.fill block (len + 1) (63 - len) '\000';
+    let bits = len * 8 in
+    Bytes.unsafe_set block 62 (Char.unsafe_chr ((bits lsr 8) land 0xFF));
+    Bytes.unsafe_set block 63 (Char.unsafe_chr (bits land 0xFF));
+    compress_core h w block 0;
+    emit h
+  end
+  else begin
+    let ctx = init () in
+    update ctx data;
+    finalize ctx
+  end
 
 let digest_string s = digest (Bytes.of_string s)
 

@@ -4,8 +4,9 @@ let deal rng ~q ~secret ~threshold ~n =
   if threshold < 1 || threshold > n then invalid_arg "Shamir.deal: need 1 <= threshold <= n";
   if Znum.sign q <= 0 then invalid_arg "Shamir.deal: q must be positive";
   (* coefficients a_0 = secret, a_1 .. a_{t-1} random *)
+  (* the closure draws from [rng]: application order must be pinned *)
   let coeffs =
-    Array.init threshold (fun i ->
+    Util.Init.array threshold (fun i ->
         if i = 0 then Znum.emod secret q else Prime.random_below rng q)
   in
   let eval x =

@@ -14,7 +14,10 @@ let map ?jobs ~tasks f =
   let jobs = match jobs with None -> default_jobs () | Some j -> j in
   if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
   let jobs = min jobs tasks in
-  if jobs <= 1 then Array.init tasks f
+  (* ascending order pinned: task bodies touch domain-local state
+     (metrics scopes, memo caches), and the sequential path must visit
+     them in slot order like the parallel path's per-slot isolation *)
+  if jobs <= 1 then Util.Init.array tasks f
   else begin
     let results = Array.make tasks Empty in
     let next = Atomic.make 0 in

@@ -31,10 +31,14 @@ type result = {
 (* Key material caches — the paper generates and distributes all keys
    before the experiments start, so reusing them across repetitions is
    faithful (and keeps the simulation fast). Generation is seeded
-   deterministically per group size, so the caches are domain-local:
-   each pool worker derives bit-identical keys instead of racing on a
-   shared table. *)
-let turquois_keys : (int, Core.Keyring.t array) Hashtbl.t Domain.DLS.key =
+   deterministically (per dedicated seed, group size and horizon), so
+   the caches are domain-local: each pool worker derives bit-identical
+   keys instead of racing on a shared table. The caches carry no
+   metrics and deliberately survive run scopes — an order-dependent
+   hit pattern inside run metrics would break the -j 1 vs -j N
+   merged-metrics equality. *)
+let turquois_keys : (int64 * int * int, Core.Keyring.t array) Hashtbl.t Domain.DLS.key
+    =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let abba_keys : (int, Baselines.Abba.group_keys) Hashtbl.t Domain.DLS.key =
@@ -42,15 +46,18 @@ let abba_keys : (int, Baselines.Abba.group_keys) Hashtbl.t Domain.DLS.key =
 
 let key_phases = 300
 
-let turquois_keyrings ~n =
+let keyrings_for ~seed ~n ~phases =
   let cache = Domain.DLS.get turquois_keys in
-  match Hashtbl.find_opt cache n with
+  let key = (seed, n, phases) in
+  match Hashtbl.find_opt cache key with
   | Some k -> k
   | None ->
-      let rng = Util.Rng.create ~seed:(Int64.of_int (0x7153 + n)) in
-      let k = Core.Keyring.setup rng ~n ~phases:key_phases () in
-      Hashtbl.add cache n k;
+      let k = Core.Keyring.setup (Util.Rng.create ~seed) ~n ~phases () in
+      Hashtbl.add cache key k;
       k
+
+let turquois_keyrings ~n =
+  keyrings_for ~seed:(Int64.of_int (0x7153 + n)) ~n ~phases:key_phases
 
 let abba_group_keys ~n =
   let cache = Domain.DLS.get abba_keys in
@@ -102,10 +109,11 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach ~t
     List.filter (fun i -> not (List.mem i faulty)) (List.init n (fun i -> i))
   in
   let proposals = proposals dist ~n in
+  (* both closures draw from [rng]: application order must be pinned *)
   let nodes =
-    Array.init n (fun id -> Net.Node.create engine radio ~id ~rng:(Util.Rng.split rng))
+    Util.Init.array n (fun id -> Net.Node.create engine radio ~id ~rng:(Util.Rng.split rng))
   in
-  let starts = Array.init n (fun _ -> start_time rng) in
+  let starts = Util.Init.array n (fun _ -> start_time rng) in
   let decide_time : (int, float) Hashtbl.t = Hashtbl.create n in
   let decide_value : (int, int) Hashtbl.t = Hashtbl.create n in
   let decide_phase : (int, int) Hashtbl.t = Hashtbl.create n in

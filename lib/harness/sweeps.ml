@@ -182,7 +182,15 @@ let run_turquois_custom ~n ~dist ~load ~tick_policy ~auth_cost ~seed =
   let crashed = match load with Net.Fault.Fail_stop -> faulty | _ -> [] in
   let byzantine = match load with Net.Fault.Byzantine -> faulty | _ -> [] in
   let cfg = Core.Proto.default_config ~n in
-  let keyrings = Core.Keyring.setup (Util.Rng.create ~seed:(Int64.of_int (0xab1 + n))) ~n ~phases:cfg.max_phases () in
+  (* fixed dedicated seed, so caching changes nothing but wall clock:
+     every repetition regenerated these exact keys before *)
+  let keyrings =
+    if Core.Intern.enabled () then
+      Runner.keyrings_for ~seed:(Int64.of_int (0xab1 + n)) ~n ~phases:cfg.max_phases
+    else
+      Core.Keyring.setup (Util.Rng.create ~seed:(Int64.of_int (0xab1 + n))) ~n
+        ~phases:cfg.max_phases ()
+  in
   let proposals = Runner.proposals dist ~n in
   let decided : (int, float) Hashtbl.t = Hashtbl.create n in
   Array.iter

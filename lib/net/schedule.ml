@@ -116,7 +116,8 @@ let random ~rng ~n ~duration ?(events = 6) ?(allow_crashes = true) () =
     in
     { at; action }
   in
-  let raw = List.init events (fun _ -> entry ()) in
+  (* [entry] draws from the rng: application order must be pinned *)
+  let raw = Util.Init.list events (fun _ -> entry ()) in
   (* every crash recovers before the horizon so liveness stays checkable *)
   let recoveries =
     List.filter_map

@@ -1,5 +1,20 @@
+(* Reset hooks let lower layers attach per-run state to the run
+   boundary without obs depending on them: Core.Intern registers its
+   domain-local cache reset here at module initialization.
+   Registration happens on the main domain before any worker spawns;
+   the CAS loop only guards against a racing registration. *)
+let hooks : (unit -> unit) list Atomic.t = Atomic.make []
+
+let at_run_start f =
+  let rec add () =
+    let current = Atomic.get hooks in
+    if not (Atomic.compare_and_set hooks current (f :: current)) then add ()
+  in
+  add ()
+
 let with_run f =
   Metrics.reset ();
   Trace2.clear ();
+  List.iter (fun hook -> hook ()) (Atomic.get hooks);
   let result = f () in
   (result, Metrics.snapshot ())

@@ -47,6 +47,19 @@ module W = struct
   let string_lp t s = bytes_lp t (Bytes.of_string s)
   let length t = Buffer.length t
   let contents t = Buffer.to_bytes t
+
+  (* One scratch buffer per domain: encoders on the hot path reuse it
+     instead of allocating a fresh Buffer per frame. The callback must
+     fully consume the writer before returning — nesting [with_scratch]
+     inside its own callback would corrupt the outer encode. *)
+  let scratch : Buffer.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+  let with_scratch f =
+    let b = Domain.DLS.get scratch in
+    Buffer.clear b;
+    f b;
+    Buffer.to_bytes b
 end
 
 module R = struct

@@ -31,6 +31,12 @@ module W : sig
   val string_lp : t -> string -> unit
   val length : t -> int
   val contents : t -> bytes
+
+  val with_scratch : (t -> unit) -> bytes
+  (** [with_scratch f] hands [f] a cleared, domain-local scratch writer
+      and returns a fresh copy of what [f] wrote — the allocation-free
+      fast path for per-frame encoders. Not reentrant: [f] must not
+      itself call [with_scratch]. *)
 end
 
 (** Cursor-based reader over immutable bytes. *)

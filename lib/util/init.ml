@@ -1,0 +1,21 @@
+(* Array.init / List.init apply their closure in an order the language
+   does not specify. Most call sites in this tree pass closures that
+   draw from an RNG or advance a codec reader, where a different
+   application order silently produces different (but plausible)
+   values. These variants pin ascending order. *)
+
+let array n f =
+  if n < 0 then invalid_arg "Init.array: negative length";
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      Array.unsafe_set a i (f i)
+    done;
+    a
+  end
+
+let list n f =
+  if n < 0 then invalid_arg "Init.list: negative length";
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []

@@ -1,0 +1,14 @@
+(** Order-pinned replacements for [Array.init] and [List.init].
+
+    The stdlib versions apply their closure in an unspecified order, so
+    a side-effecting closure — reading an RNG stream, advancing a codec
+    cursor — can fill the container with values whose assignment to
+    indices depends on the compiler. Every side-effecting init in this
+    repository goes through these instead: [f] is applied to
+    [0, 1, ..., n-1] in ascending order, guaranteed. *)
+
+val array : int -> (int -> 'a) -> 'a array
+(** @raise Invalid_argument on a negative length. *)
+
+val list : int -> (int -> 'a) -> 'a list
+(** @raise Invalid_argument on a negative length. *)

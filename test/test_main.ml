@@ -22,4 +22,5 @@ let () =
       Test_harness.suite;
       Test_pool.suite;
       Test_chaos.suite;
+      Test_hotpath.suite;
     ]

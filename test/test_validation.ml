@@ -177,6 +177,26 @@ let test_verdict_reasons () =
   | V.Valid -> ()
   | V.Invalid r -> Alcotest.fail ("expected valid: " ^ r)
 
+(* the closed forms against the defining descent: largest p < phi of the
+   right kind, 0 when none exists — exhaustively for phi = 1..200 *)
+let test_helper_phases_closed_form () =
+  let highest_below ~kind phi =
+    let rec descend p =
+      if p < 1 then 0 else if P.kind_of_phase p = kind then p else descend (p - 1)
+    in
+    descend (phi - 1)
+  in
+  for phi = 1 to 200 do
+    Alcotest.(check int)
+      (Printf.sprintf "lock below %d" phi)
+      (highest_below ~kind:P.Lock phi)
+      (V.highest_lock_phase_below phi);
+    Alcotest.(check int)
+      (Printf.sprintf "decide below %d" phi)
+      (highest_below ~kind:P.Decide phi)
+      (V.highest_decide_phase_below phi)
+  done
+
 let test_helper_phases () =
   Alcotest.(check int) "lock below 4" 2 (V.highest_lock_phase_below 4);
   Alcotest.(check int) "lock below 6" 5 (V.highest_lock_phase_below 6);
@@ -245,5 +265,6 @@ let suite =
       Alcotest.test_case "undecided bot witness" `Quick test_status_undecided_with_bot_witness;
       Alcotest.test_case "verdict reasons" `Quick test_verdict_reasons;
       Alcotest.test_case "helper phases" `Quick test_helper_phases;
+      Alcotest.test_case "helper phases closed form" `Quick test_helper_phases_closed_form;
       QCheck_alcotest.to_alcotest qcheck_monotone;
     ] )
