@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json pool-smoke memo-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke chaos clean
 
 all: build
 
@@ -30,9 +30,20 @@ pool-smoke:
 memo-smoke:
 	dune exec bin/turquois_lab.exe -- memocheck --quiet
 
+# causal smoke: export a traced sigma-edge run and make sure the causal
+# analyzer reconstructs tagged sends from it end to end
+causal-smoke:
+	dune exec bin/turquois_lab.exe -- run -n 8 --divergent --sigma-edge \
+	  --trace-json /tmp/turquois_causal_smoke.jsonl > /dev/null
+	dune exec bin/turquois_lab.exe -- analyze /tmp/turquois_causal_smoke.jsonl \
+	  --causal --timeline | grep -q "Causal analysis: [1-9]" \
+	  || { echo "causal smoke failed: no tagged sends in the trace"; exit 1; }
+	rm -f /tmp/turquois_causal_smoke.jsonl
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
-# the chaos smoke sweep, the parallel-pool smoke and the memo smoke
-check: fmt build test chaos pool-smoke memo-smoke
+# the chaos smoke sweep, the parallel-pool smoke, the memo smoke, the
+# causal-trace smoke and the perf regression gate
+check: fmt build test chaos pool-smoke memo-smoke causal-smoke bench-compare
 
 bench:
 	dune exec bench/main.exe -- --quick
@@ -42,6 +53,18 @@ bench:
 # doubles as the perf regression gate
 bench-json:
 	dune exec bench/main.exe -- --hotpath-baseline BENCH_pr5.json
+
+# regenerate the committed regression-gate baseline (run on the machine
+# that will run bench-compare; wall-clock sections are host-dependent)
+bench-baseline:
+	dune exec bench/main.exe -- --baseline-out BENCH_baseline.json
+
+# perf regression gate: re-run the gate grid and diff it against the
+# committed baseline. The threshold is deliberately generous (+300%) —
+# wall clock on shared CI boxes is noisy; the deterministic airtime
+# section still catches any behavioral drift exactly
+bench-compare:
+	dune exec bench/main.exe -- --compare BENCH_baseline.json --threshold 3.0
 
 clean:
 	dune clean

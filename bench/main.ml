@@ -29,6 +29,14 @@ let json_out = ref None
 let jobs = ref (Harness.Pool.default_jobs ())
 let pool_baseline = ref None
 let hotpath_baseline = ref None
+let baseline_out = ref None
+let compare_against = ref None
+let threshold = ref 0.5
+
+(* version of the JSON layouts this binary writes (summary and
+   regression-gate baseline); --compare rejects a baseline written by a
+   different generation instead of mis-reading it *)
+let bench_schema_version = 1
 
 let speclist =
   [
@@ -86,6 +94,17 @@ let speclist =
       Arg.String (fun f -> hotpath_baseline := Some f),
       "FILE time a fixed grid with the hot-path memoization off and on, assert \
        bit-identical results, write the comparison to FILE, and run nothing else" );
+    ( "--baseline-out",
+      Arg.String (fun f -> baseline_out := Some f),
+      "FILE run the regression-gate grid (memoized, -j 1), write wall-clock and \
+       airtime baselines to FILE, and run nothing else" );
+    ( "--compare",
+      Arg.String (fun f -> compare_against := Some f),
+      "FILE re-run the regression-gate grid and diff it against the baseline in \
+       FILE; exit non-zero when a metric regresses beyond --threshold" );
+    ( "--threshold",
+      Arg.Set_float threshold,
+      "X allowed relative regression for --compare (default 0.5 = +50%)" );
   ]
 
 let banner title =
@@ -310,6 +329,7 @@ let write_json file table_results adversary_results =
   let doc =
     Obs.Json.Obj
       [
+        ("schema_version", Obs.Json.Int bench_schema_version);
         ("reps", Obs.Json.Int !reps);
         ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) !sizes));
         ("seed", Obs.Json.String (Int64.to_string !seed));
@@ -549,6 +569,158 @@ let run_hotpath_baseline file =
     (if chaos_on_s > 0.0 then chaos_off_s /. chaos_on_s else 0.0)
     identical file
 
+(* --- section 3c: regression gate ------------------------------------------ *)
+
+(* The regression-gate grid: a fast, fully deterministic slice of the
+   benchmark surface (memoized, -j 1). Wall-clock sections catch
+   performance regressions; the frame/byte/airtime counts of a
+   representative run are bit-deterministic for a fixed seed, so any
+   drift there signals a protocol behavior change — rebaseline
+   deliberately with --baseline-out when that change is intentional. *)
+let gate_grid () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    ignore v;
+    Unix.gettimeofday () -. t0
+  in
+  let n = 8 in
+  let k = n - Net.Fault.max_f n in
+  Core.Intern.with_memo true (fun () ->
+      Harness.Runner.clear_key_cache ();
+      let sweep_s =
+        time (fun () ->
+            Harness.Sweeps.sigma_sweep_merged ~n ~k ~runs_per_point:8 ~rounds:90
+              ~beyond:3 ~base_seed:!seed ~jobs:1 ())
+      in
+      let cell_s =
+        time (fun () ->
+            Harness.Experiment.run_cell ~reps:12 ~base_seed:!seed ~jobs:1
+              {
+                Harness.Experiment.protocol = Harness.Runner.Turquois;
+                n = 7;
+                dist = Harness.Runner.Divergent;
+                load = Net.Fault.Failure_free;
+              })
+      in
+      let chaos_s =
+        time (fun () -> Harness.Chaos.run_chaos ~n:4 ~runs:20 ~jobs:1 ~seed:!seed ())
+      in
+      let rep =
+        Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:7
+          ~dist:Harness.Runner.Divergent ~load:Net.Fault.Failure_free ~seed:!seed ()
+      in
+      let airtime =
+        List.fold_left
+          (fun acc (s : Obs.Metrics.sample) ->
+            if s.name = "radio.airtime_s" then
+              match s.value with
+              | Obs.Metrics.Gauge g -> acc +. g
+              | Obs.Metrics.Counter c -> acc +. float_of_int c
+              | Obs.Metrics.Histogram _ -> acc
+            else acc)
+          0.0 rep.Harness.Runner.metrics
+      in
+      let wall =
+        [ ("sigma_sweep_s", sweep_s); ("table_cell_s", cell_s); ("chaos_s", chaos_s) ]
+      in
+      let deterministic =
+        [
+          ("frames_sent", float_of_int rep.Harness.Runner.frames_sent);
+          ("bytes_sent", float_of_int rep.Harness.Runner.bytes_sent);
+          ("airtime_s", airtime);
+          ("sim_duration_s", rep.Harness.Runner.duration);
+        ]
+      in
+      (wall, deterministic))
+
+let gate_to_json (wall, deterministic) =
+  let fields l = List.map (fun (k, v) -> (k, Obs.Json.Float v)) l in
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String "regression-gate");
+      ("schema_version", Obs.Json.Int bench_schema_version);
+      ("seed", Obs.Json.String (Int64.to_string !seed));
+      ("wall", Obs.Json.Obj (fields wall));
+      ("airtime", Obs.Json.Obj (fields deterministic));
+    ]
+
+let run_baseline_out file =
+  banner "Regression-gate baseline (memoized, -j 1)";
+  let ((wall, deterministic) as gate) = gate_grid () in
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-16s %12.4f\n" k v)
+    (wall @ deterministic);
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (gate_to_json gate));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let run_compare file =
+  banner
+    (Printf.sprintf "Regression gate: re-run grid vs %s (threshold +%.0f%%)" file
+       (100.0 *. !threshold));
+  let read_file f =
+    let ic = open_in f in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base =
+    match Obs.Json.parse (read_file file) with
+    | Ok j -> j
+    | Error e -> failwith (Printf.sprintf "%s: %s" file e)
+  in
+  (match Option.bind (Obs.Json.member "schema_version" base) Obs.Json.to_int with
+  | Some v when v = bench_schema_version -> ()
+  | Some v ->
+      failwith
+        (Printf.sprintf
+           "%s: baseline schema version %d; this build writes version %d — \
+            regenerate it with --baseline-out"
+           file v bench_schema_version)
+  | None ->
+      failwith
+        (Printf.sprintf "%s: not a regression-gate baseline (no schema_version)"
+           file));
+  let section name =
+    match Obs.Json.member name base with Some (Obs.Json.Obj kvs) -> kvs | _ -> []
+  in
+  let base_wall = section "wall" in
+  let base_det = section "airtime" in
+  let wall, deterministic = gate_grid () in
+  let failures = ref 0 in
+  (* wall clock only fails on increases (machines get faster for free);
+     deterministic airtime metrics fail on drift in either direction *)
+  let check ~two_sided sect_name baseline (k, v) =
+    match Option.bind (List.assoc_opt k baseline) Obs.Json.to_float with
+    | None -> Printf.printf "  %s/%-16s %12.4f  (no baseline value — skipped)\n" sect_name k v
+    | Some b ->
+        let rel =
+          if b = 0.0 then if v = 0.0 then 0.0 else infinity else (v -. b) /. b
+        in
+        let regressed =
+          if two_sided then Float.abs rel > !threshold else rel > !threshold
+        in
+        if regressed then incr failures;
+        Printf.printf "  %s/%-16s %12.4f -> %12.4f  %+8.1f%%  %s\n" sect_name k b v
+          (100.0 *. rel)
+          (if regressed then "FAIL" else "ok")
+  in
+  List.iter (check ~two_sided:false "wall" base_wall) wall;
+  List.iter (check ~two_sided:true "airtime" base_det) deterministic;
+  if !failures > 0 then (
+    Printf.printf "regression gate: %d metric(s) beyond %.0f%% of %s — FAIL\n"
+      !failures
+      (100.0 *. !threshold)
+      file;
+    exit 1)
+  else
+    Printf.printf "regression gate: all metrics within %.0f%% of %s\n"
+      (100.0 *. !threshold)
+      file
+
 (* --- section 4: bechamel --------------------------------------------------- *)
 
 open Bechamel
@@ -646,14 +818,20 @@ let () =
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "bench/main.exe [options]";
-  match (!pool_baseline, !hotpath_baseline) with
-  | Some file, _ ->
+  match (!pool_baseline, !hotpath_baseline, !baseline_out, !compare_against) with
+  | Some file, _, _, _ ->
       run_pool_baseline file;
       print_endline "benchmark complete."
-  | None, Some file ->
+  | None, Some file, _, _ ->
       run_hotpath_baseline file;
       print_endline "benchmark complete."
-  | None, None ->
+  | None, None, Some file, _ ->
+      run_baseline_out file;
+      print_endline "benchmark complete."
+  | None, None, None, Some file ->
+      run_compare file;
+      print_endline "benchmark complete."
+  | None, None, None, None ->
   let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
   let adversary_results = if !adversary then run_adversary () else [] in

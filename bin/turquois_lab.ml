@@ -219,7 +219,8 @@ let load_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
 
-let run_single protocol n divergent load seed loss trace metrics trace_json jobs no_memo =
+let run_single protocol n divergent load seed loss trace metrics trace_json profile
+    sigma_edge jobs no_memo =
   apply_memo no_memo;
   let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
   let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
@@ -228,8 +229,17 @@ let run_single protocol n divergent load seed loss trace metrics trace_json jobs
   if (trace || trace_json <> None) && jobs <> 1 then
     Printf.eprintf "  tracing active: forcing -j 1 (trace buffers are domain-local)\n%!";
   if trace || trace_json <> None then Net.Trace.start ();
+  if profile then Obs.Prof.enable ();
+  let attach =
+    if not sigma_edge then None
+    else
+      Some
+        (fun radio ->
+          let k = n - Net.Fault.max_f n in
+          ignore (Net.Fault.sigma_edge radio ~n ~k ~t:0 ()))
+  in
   let result =
-    Harness.Runner.run ~protocol ~n ~dist ~load ~conditions ~seed ()
+    Harness.Runner.run ~protocol ~n ~dist ~load ~conditions ~seed ?attach ()
   in
   Printf.printf "%s n=%d %s %s (seed %Ld)\n" (Harness.Runner.protocol_to_string protocol) n
     (Harness.Runner.dist_to_string dist)
@@ -251,6 +261,11 @@ let run_single protocol n divergent load seed loss trace metrics trace_json jobs
   if metrics then begin
     print_endline "\n--- metrics ---";
     print_string (Obs.Metrics.render_table result.metrics)
+  end;
+  if profile then begin
+    print_endline "\n--- hot-path profile (host wall clock; simulated results unaffected) ---";
+    print_string (Obs.Prof.render_table (Obs.Prof.snapshot ()));
+    Obs.Prof.disable ()
   end;
   (match trace_json with
   | None -> ()
@@ -294,11 +309,25 @@ let run_cmd =
          & info [ "trace-json" ] ~docv:"FILE"
              ~doc:"Export the structured trace as JSONL to $(docv) (readable by the analyze subcommand).")
   in
+  let profile_arg =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print a hot-path span profile (decode, verify, MAC contention, engine \
+                   pop, Vset tally) after the run. Host wall clock only; simulated \
+                   results are bit-identical with or without it.")
+  in
+  let sigma_edge_arg =
+    Arg.(value & flag
+         & info [ "sigma-edge" ]
+             ~doc:"Attach the sigma-edge omission adversary (worst-case Section 5 drop \
+                   schedule at exactly the liveness bound).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"One verbose consensus execution")
     Term.(
       const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg
-      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ jobs_arg $ no_memo_arg)
+      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ profile_arg
+      $ sigma_edge_arg $ jobs_arg $ no_memo_arg)
 
 (* --- chaos ------------------------------------------------------------------ *)
 
@@ -438,7 +467,7 @@ let memocheck_cmd =
 
 (* --- analyze ---------------------------------------------------------------- *)
 
-let run_analyze file n k t =
+let run_analyze file n k t causal timeline =
   match Obs.Trace2.load_file file with
   | Error msg ->
       Printf.eprintf "analyze: %s\n" msg;
@@ -452,6 +481,14 @@ let run_analyze file n k t =
       end
       else begin
         print_string (Obs.Analyze.analyze ?n ?k ?t events);
+        if timeline then begin
+          print_newline ();
+          print_string (Obs.Timeline.render ?n events)
+        end;
+        if causal then begin
+          print_newline ();
+          print_string (Obs.Analyze.causal ?n ?k ?t events)
+        end;
         0
       end
 
@@ -472,10 +509,23 @@ let analyze_cmd =
     Arg.(value & opt (some int) None
          & info [ "t" ] ~docv:"T" ~doc:"Override the Byzantine count t.")
   in
+  let causal_arg =
+    Arg.(value & flag
+         & info [ "causal" ]
+             ~doc:"Also reconstruct the happens-before DAG: decision justification \
+                   chains, and each stall window attributed to the dropped/jammed \
+                   message ids the lagging receivers were missing.")
+  in
+  let timeline_arg =
+    Arg.(value & flag
+         & info [ "timeline" ]
+             ~doc:"Also render a per-node ASCII Gantt (phase / decided / crashed \
+                   intervals).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Reconstruct airtime, per-round timelines and a sigma stall report from a JSONL trace")
-    Term.(const run_analyze $ file_arg $ n_arg $ k_arg $ t_arg)
+    Term.(const run_analyze $ file_arg $ n_arg $ k_arg $ t_arg $ causal_arg $ timeline_arg)
 
 let main_cmd =
   let doc = "Turquois (DSN 2010) reproduction laboratory" in

@@ -54,7 +54,7 @@ let clear () =
 
 let () = Obs.Scope.at_run_start clear
 
-let decode payload =
+let decode_unprofiled payload =
   if not (enabled ()) then Message.decode payload
   else begin
     let c = Domain.DLS.get caches_key in
@@ -72,6 +72,13 @@ let decode payload =
         envelope
   end
 
+(* profiled wrapper; a malformed payload raises out without a sample *)
+let decode payload =
+  let sp = Obs.Prof.start () in
+  let envelope = decode_unprofiled payload in
+  Obs.Prof.stop Obs.Prof.decode sp;
+  envelope
+
 let memo_digest proof =
   let c = Domain.DLS.get caches_key in
   match Hashtbl.find_opt c.digests proof with
@@ -85,8 +92,13 @@ let memo_digest proof =
       digest
 
 let check_message keyring m =
-  if enabled () then Keyring.check_message_with ~hash:memo_digest keyring m
-  else Keyring.check_message keyring m
+  let sp = Obs.Prof.start () in
+  let ok =
+    if enabled () then Keyring.check_message_with ~hash:memo_digest keyring m
+    else Keyring.check_message keyring m
+  in
+  Obs.Prof.stop Obs.Prof.verify sp;
+  ok
 
 let memo_series =
   [

@@ -112,14 +112,28 @@ let broadcast_state t ~justify =
   | Machine.Quiet -> ()  (* key horizon exhausted, or a silent strategy *)
   | Machine.Broadcast envelope ->
       count_broadcast t envelope;
+      let bytes = Message.encode envelope in
+      let mid =
+        (* causal id minted at the broadcast site; lower layers alias it
+           onto their re-encodings so radio events can name the message *)
+        if Obs.Trace2.enabled () then begin
+          let m =
+            Obs.Causal.next_send ~sender:(id t) ~phase:envelope.msg.Message.phase
+          in
+          Obs.Causal.register bytes m;
+          [ ("mid", Obs.Trace2.S m) ]
+        end
+        else []
+      in
       Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
         ~layer:"turquois" ~label:"broadcast"
-        [
-          ("msg", Obs.Trace2.S (Message.describe envelope.msg));
-          ("phase", Obs.Trace2.I envelope.msg.Message.phase);
-          ("justifying", Obs.Trace2.I (List.length envelope.justification));
-        ];
-      Net.Node.broadcast t.node ~port:t.port (Message.encode envelope)
+        ([
+           ("msg", Obs.Trace2.S (Message.describe envelope.msg));
+           ("phase", Obs.Trace2.I envelope.msg.Message.phase);
+           ("justifying", Obs.Trace2.I (List.length envelope.justification));
+         ]
+        @ mid);
+      Net.Node.broadcast t.node ~port:t.port bytes
   | Machine.Per_receiver frames ->
       (* equivocation: ship each receiver its private copy as a unicast
          so nobody overhears the contradicting frame. The copies fall
@@ -133,6 +147,10 @@ let broadcast_state t ~justify =
         | Some (_, bytes) -> bytes
         | None ->
             let bytes = Message.encode envelope in
+            if Obs.Trace2.enabled () then
+              Obs.Causal.register bytes
+                (Obs.Causal.next_send ~sender:(id t)
+                   ~phase:envelope.msg.Message.phase);
             encoded := (envelope, bytes) :: !encoded;
             bytes
       in
@@ -140,13 +158,15 @@ let broadcast_state t ~justify =
         (fun (rx, (envelope : Message.envelope)) ->
           count_broadcast t envelope;
           Obs.Metrics.incr "proto.equivocations" ~labels:[ ("proto", "turquois") ];
+          let bytes = encode_once envelope in
           Obs.Trace2.emit ~time:(Net.Engine.now (Net.Node.engine t.node)) ~node:(id t)
             ~layer:"turquois" ~label:"equivocate"
-            [
-              ("to", Obs.Trace2.I rx);
-              ("msg", Obs.Trace2.S (Message.describe envelope.msg));
-            ];
-          Net.Node.unicast t.node ~dst:rx ~port:t.port (encode_once envelope))
+            ([
+               ("to", Obs.Trace2.I rx);
+               ("msg", Obs.Trace2.S (Message.describe envelope.msg));
+             ]
+            @ (if Obs.Trace2.enabled () then Obs.Causal.mid_field bytes else []));
+          Net.Node.unicast t.node ~dst:rx ~port:t.port bytes)
         frames
 
 let rec arm_tick t =

@@ -48,7 +48,7 @@ let copies t ~sender ~phase =
   in
   primary @ Option.value ~default:[] (Hashtbl.find_opt t.extras (sender, phase))
 
-let add t (m : Message.t) =
+let add_unprofiled t (m : Message.t) =
   if m.sender < 0 || m.sender >= t.n then false
   else begin
     let slots = row t m.phase in
@@ -82,6 +82,12 @@ let add t (m : Message.t) =
           true
         end
   end
+
+let add t (m : Message.t) =
+  let sp = Obs.Prof.start () in
+  let inserted = add_unprofiled t m in
+  Obs.Prof.stop Obs.Prof.vset_tally sp;
+  inserted
 
 let find t ~sender ~phase =
   match Hashtbl.find_opt t.by_phase phase with

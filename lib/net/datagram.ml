@@ -37,6 +37,7 @@ let create engine mac_layer =
 
 let send t ~dst ~port payload =
   let raw = encode ~port payload in
+  if Obs.Trace2.enabled () then Obs.Causal.alias ~from:payload raw;
   match dst with
   | `Node node -> Mac.send_unicast t.mac_layer ~dst:node raw
   | `Broadcast ->

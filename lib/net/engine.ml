@@ -99,7 +99,10 @@ let pending t = t.live
 let heap_size t = t.size
 
 let step t =
-  match pop t with
+  let sp = Obs.Prof.start () in
+  let popped = pop t in
+  Obs.Prof.stop Obs.Prof.engine_pop sp;
+  match popped with
   | None -> false
   | Some ev ->
       if not ev.cancelled then begin

@@ -133,11 +133,13 @@ and transmit_current t =
   match t.current with
   | None -> ()
   | Some p ->
+      let sp = Obs.Prof.start () in
       let gen = t.generation in
       let kind = Data in
       let dst = match p.p_dst with None -> broadcast_dst | Some d -> d in
       let frame = { kind; src = t.node_id; dst; seq = p.p_seq; payload = p.p_payload } in
       let encoded = encode_frame frame in
+      if Obs.Trace2.enabled () then Obs.Causal.alias ~from:p.p_payload encoded;
       let duration, frame_class =
         match p.p_dst with
         | None -> (airtime_broadcast ~payload_bytes:(Bytes.length p.p_payload), "bcast")
@@ -161,7 +163,8 @@ and transmit_current t =
             Engine.schedule t.engine ~delay:timeout (fun () ->
                 if t.generation = gen then handle_ack_timeout t)
           in
-          t.awaiting_ack <- Some handle)
+          t.awaiting_ack <- Some handle);
+      Obs.Prof.stop Obs.Prof.mac_contention sp
 
 and handle_ack_timeout t =
   match t.current with
@@ -173,10 +176,12 @@ and handle_ack_timeout t =
         Obs.Metrics.incr "mac.drops";
         Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:t.node_id ~layer:"mac"
           ~label:"drop"
-          [
-            ("dst", Obs.Trace2.I (match p.p_dst with Some d -> d | None -> -1));
-            ("retries", Obs.Trace2.I Const.retry_limit);
-          ];
+          ([
+             ("dst", Obs.Trace2.I (match p.p_dst with Some d -> d | None -> -1));
+             ("retries", Obs.Trace2.I Const.retry_limit);
+           ]
+          @
+          if Obs.Trace2.enabled () then Obs.Causal.mid_field p.p_payload else []);
         t.current <- None;
         t.generation <- t.generation + 1;
         (match (t.dropped, p.p_dst) with

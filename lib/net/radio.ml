@@ -146,13 +146,15 @@ let transmit t ?(kind = "data") ~sender ~duration frame =
     Obs.Metrics.incr "radio.bytes" ~by:(Bytes.length frame) ~labels:class_labels;
     Obs.Metrics.add "radio.airtime_s" ~labels:class_labels duration;
     Obs.Metrics.observe "radio.frame_us" ~lo:0.0 ~hi:4000.0 ~bins:20 (duration *. 1e6);
+    let mid = if Obs.Trace2.enabled () then Obs.Causal.mid_field frame else [] in
     Obs.Trace2.emit ~time:now ~node:sender ~layer:"radio" ~label:"tx"
-      [
-        ("class", Obs.Trace2.S kind);
-        ("bytes", Obs.Trace2.I (Bytes.length frame));
-        ("us", Obs.Trace2.F (duration *. 1e6));
-        ("collision", Obs.Trace2.B tx.corrupted);
-      ];
+      ([
+         ("class", Obs.Trace2.S kind);
+         ("bytes", Obs.Trace2.I (Bytes.length frame));
+         ("us", Obs.Trace2.F (duration *. 1e6));
+         ("collision", Obs.Trace2.B tx.corrupted);
+       ]
+      @ mid);
     ignore
       (Engine.at t.engine ~time:finish (fun () ->
            t.ongoing <- List.filter (fun o -> o.tx_finish > Engine.now t.engine) t.ongoing;
@@ -161,7 +163,7 @@ let transmit t ?(kind = "data") ~sender ~duration frame =
              t.stats.jammed <- t.stats.jammed + 1;
              Obs.Metrics.incr "radio.jammed";
              Obs.Trace2.emit ~time:(Engine.now t.engine) ~node:sender ~layer:"radio"
-               ~label:"jammed" []
+               ~label:"jammed" mid
            end;
            if (not tx.corrupted) && not jammed then begin
              match t.receive with
@@ -192,11 +194,17 @@ let transmit t ?(kind = "data") ~sender ~duration frame =
                          ~labels:[ ("rx", "p" ^ string_of_int receiver) ];
                        Obs.Trace2.emit ~time:now ~node:sender
                          ~layer:"radio" ~label:"omission"
-                         [ ("rx", Obs.Trace2.I receiver) ]
+                         (("rx", Obs.Trace2.I receiver) :: mid)
                      end
                      else begin
                        t.stats.frames_delivered <- t.stats.frames_delivered + 1;
                        Obs.Metrics.incr "radio.delivered";
+                       (* deliver edges only matter to the causal DAG, and
+                          only data frames carry mids — skip the bare ones *)
+                       if mid <> [] then
+                         Obs.Trace2.emit ~time:now ~node:sender ~layer:"radio"
+                           ~label:"deliver"
+                           (("rx", Obs.Trace2.I receiver) :: mid);
                        let extra = t.rx_delay.(receiver) in
                        if extra > 0.0 then
                          ignore

@@ -326,14 +326,24 @@ let omissions_in events ~from ~until =
       else acc)
     0 events
 
-let stall_report ~n ~k ~t ~tick events entries =
-  let bound = sigma ~n ~k ~t in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "Stall report: sigma = ceil((n-t)/2)*(n-k-t) + k - 2 = %d omissions/round (n=%d k=%d \
-        t=%d); one round = one %.0f ms tick\n"
-       bound n k t (tick *. 1000.0));
+(* Per-window statistics, shared by the stall report and the causal
+   attribution: each consecutive pair of global phase-entry times is a
+   window, flagged when its per-round omission load exceeds sigma or
+   its duration is an outlier. *)
+type window_stat = {
+  w_phase : int;
+  w_next : int; (* phase whose first entry closes the window *)
+  w_from : float;
+  w_until : float;
+  w_dur : float;
+  w_rounds : int;
+  w_om : int;
+  w_per_round : float;
+  w_exceeds : bool;
+  w_stalled : bool;
+}
+
+let window_stats ~bound ~tick events entries =
   (* global entry time of each phase: the first node to reach it *)
   let phase_start : (int, float) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.iter
@@ -345,39 +355,63 @@ let stall_report ~n ~k ~t ~tick events entries =
   let phases =
     Hashtbl.fold (fun p t0 acc -> (p, t0) :: acc) phase_start [] |> List.sort compare
   in
-  if List.length phases < 2 then begin
+  let rec windows = function
+    | (p, t0) :: ((p', t1) :: _ as rest) -> (p, p', t0, t1) :: windows rest
+    | [ _ ] | [] -> []
+  in
+  let ws = windows phases in
+  let durations = List.map (fun (_, _, t0, t1) -> t1 -. t0) ws in
+  (* traces with < 2 phase entries (e.g. fault-only runs) have no windows *)
+  let median = if durations = [] then 0.0 else Util.Stats.percentile durations 0.5 in
+  let stats =
+    List.map
+      (fun (p, p', t0, t1) ->
+        let dur = t1 -. t0 in
+        let rounds = max 1 (int_of_float (Float.round (dur /. tick))) in
+        let om = omissions_in events ~from:t0 ~until:t1 in
+        let per_round = float_of_int om /. float_of_int rounds in
+        {
+          w_phase = p;
+          w_next = p';
+          w_from = t0;
+          w_until = t1;
+          w_dur = dur;
+          w_rounds = rounds;
+          w_om = om;
+          w_per_round = per_round;
+          w_exceeds = per_round > float_of_int bound;
+          w_stalled = dur > 3.0 *. median && dur > 2.0 *. tick;
+        })
+      ws
+  in
+  (stats, median)
+
+let stall_report ~n ~k ~t ~tick events entries =
+  let bound = sigma ~n ~k ~t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Stall report: sigma = ceil((n-t)/2)*(n-k-t) + k - 2 = %d omissions/round (n=%d k=%d \
+        t=%d); one round = one %.0f ms tick\n"
+       bound n k t (tick *. 1000.0));
+  let ws, median = window_stats ~bound ~tick events entries in
+  if ws = [] then begin
     Buffer.add_string buf
       "  fewer than two phase transitions in trace: no inter-phase windows to check\n";
     Buffer.contents buf
   end
   else begin
-    let rec windows = function
-      | (p, t0) :: ((_, t1) :: _ as rest) -> (p, t0, t1) :: windows rest
-      | [ _ ] | [] -> []
-    in
-    let ws = windows phases in
-    let durations = List.map (fun (_, t0, t1) -> t1 -. t0) ws in
-    let median = Util.Stats.percentile durations 0.5 in
-    let stalled = ref [] in
     let rows =
       List.map
-        (fun (p, t0, t1) ->
-          let dur = t1 -. t0 in
-          let rounds = max 1 (int_of_float (Float.round (dur /. tick))) in
-          let om = omissions_in events ~from:t0 ~until:t1 in
-          let per_round = float_of_int om /. float_of_int rounds in
-          let exceeds = per_round > float_of_int bound in
-          let stall = dur > 3.0 *. median && dur > 2.0 *. tick in
-          if exceeds || stall then
-            stalled := (p, t0, t1, dur, om, per_round, exceeds) :: !stalled;
+        (fun w ->
           [
-            string_of_int p;
-            Printf.sprintf "%.1f" (t0 *. 1000.0);
-            Printf.sprintf "%.1f" (dur *. 1000.0);
-            string_of_int rounds;
-            string_of_int om;
-            Printf.sprintf "%.1f" per_round;
-            (if exceeds then "EXCEEDS sigma" else if stall then "STALL" else "ok");
+            string_of_int w.w_phase;
+            Printf.sprintf "%.1f" (w.w_from *. 1000.0);
+            Printf.sprintf "%.1f" (w.w_dur *. 1000.0);
+            string_of_int w.w_rounds;
+            string_of_int w.w_om;
+            Printf.sprintf "%.1f" w.w_per_round;
+            (if w.w_exceeds then "EXCEEDS sigma" else if w.w_stalled then "STALL" else "ok");
           ])
         ws
     in
@@ -385,7 +419,7 @@ let stall_report ~n ~k ~t ~tick events entries =
       (Util.Tablefmt.render
          ~header:[ "phase"; "start ms"; "window ms"; "rounds"; "omissions"; "om/round"; "verdict" ]
          ~rows ());
-    (match List.rev !stalled with
+    (match List.filter (fun w -> w.w_exceeds || w.w_stalled) ws with
     | [] ->
         Buffer.add_string buf
           (Printf.sprintf
@@ -395,20 +429,20 @@ let stall_report ~n ~k ~t ~tick events entries =
     | stalls ->
         let faults = fault_events events in
         List.iter
-          (fun (p, t0, t1, dur, om, per_round, exceeds) ->
+          (fun w ->
             Buffer.add_string buf
-              (if exceeds then
+              (if w.w_exceeds then
                  Printf.sprintf
                    "  phase %d stalled for %.1f ms: %d omissions (%.1f/round) exceed sigma = \
                     %d — the Section 5 bound says progress can halt under this load\n"
-                   p (dur *. 1000.0) om per_round bound
+                   w.w_phase (w.w_dur *. 1000.0) w.w_om w.w_per_round bound
                else
                  Printf.sprintf
                    "  phase %d stalled for %.1f ms (>3x the %.1f ms median window) with %d \
                     omissions (%.1f/round, sigma = %d): slow but within the liveness bound\n"
-                   p (dur *. 1000.0) (median *. 1000.0) om per_round bound);
-            let active = active_faults_at faults ~time:t0 in
-            let injected = faults_in faults ~from:t0 ~until:t1 in
+                   w.w_phase (w.w_dur *. 1000.0) (median *. 1000.0) w.w_om w.w_per_round bound);
+            let active = active_faults_at faults ~time:w.w_from in
+            let injected = faults_in faults ~from:w.w_from ~until:w.w_until in
             if active = [] && injected = [] then
               Buffer.add_string buf
                 "    no injected faults overlap this window (ambient loss / collisions)\n"
@@ -426,10 +460,9 @@ let stall_report ~n ~k ~t ~tick events entries =
     Buffer.contents buf
   end
 
-(* --- entry point ---------------------------------------------------------- *)
+(* --- entry points --------------------------------------------------------- *)
 
-let analyze ?n ?k ?t events =
-  let meta = read_meta events in
+let resolve_params ?n ?k ?t meta events =
   let observed_n =
     1 + List.fold_left (fun acc e -> max acc e.Trace2.node) (-1) events
   in
@@ -437,6 +470,11 @@ let analyze ?n ?k ?t events =
   let f_default = (n - 1) / 3 in
   let k = match (k, meta.m_k) with Some v, _ -> v | None, Some v -> v | None, None -> n - f_default in
   let t = match (t, meta.m_t) with Some v, _ -> v | None, Some v -> v | None, None -> 0 in
+  (n, k, t)
+
+let analyze ?n ?k ?t events =
+  let meta = read_meta events in
+  let n, k, t = resolve_params ?n ?k ?t meta events in
   let buf = Buffer.create 4096 in
   let times = List.map (fun e -> e.Trace2.time) events in
   let span =
@@ -459,3 +497,139 @@ let analyze ?n ?k ?t events =
   Buffer.add_char buf '\n';
   Buffer.add_string buf (stall_report ~n ~k ~t ~tick:meta.m_tick events entries);
   Buffer.contents buf
+
+(* --- causal report -------------------------------------------------------- *)
+
+(* Decision justification chains and stall-window drop attribution over
+   the happens-before DAG ([Causal.build]). Where the stall report says
+   "this window exceeded sigma while jamming was active" (correlation),
+   this names the dropped messages whose delivery the lagging receivers
+   were missing (causation). *)
+let causal ?n ?k ?t events =
+  let meta = read_meta events in
+  let n, k, t = resolve_params ?n ?k ?t meta events in
+  let dag = Causal.build events in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Causal analysis: %d tagged sends, %d deliveries, %d drops in trace\n"
+       (Hashtbl.length dag.Causal.sends)
+       (List.length dag.Causal.delivers)
+       (List.length dag.Causal.drops));
+  if Hashtbl.length dag.Causal.sends = 0 then begin
+    Buffer.add_string buf
+      "  no message ids in trace: re-record with tracing on (ids are tagged at \
+       Turquois.broadcast_state), or the protocol predates causal tagging\n";
+    Buffer.contents buf
+  end
+  else begin
+    (* decision chains *)
+    let decided =
+      Hashtbl.fold (fun node time acc -> (node, time) :: acc) dag.Causal.decides []
+      |> List.sort compare
+    in
+    Buffer.add_string buf "Decision justification chains\n";
+    if decided = [] then Buffer.add_string buf "  no decisions in trace\n"
+    else
+      List.iter
+        (fun (node, time) ->
+          let chain = Causal.decision_chain dag ~node ~time in
+          let phases =
+            List.filter_map
+              (fun m ->
+                Option.map
+                  (fun s -> s.Causal.s_phase)
+                  (Hashtbl.find_opt dag.Causal.sends m))
+              chain
+          in
+          let lo = List.fold_left min max_int phases
+          and hi = List.fold_left max min_int phases in
+          let tail =
+            let rec last_k k l =
+              let len = List.length l in
+              if len <= k then l else last_k k (List.tl l)
+            in
+            last_k 3 chain
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  p%d decided @%.1fms <- %d messages%s%s\n" node
+               (time *. 1000.0) (List.length chain)
+               (if phases = [] then ""
+                else Printf.sprintf " across phases %d..%d" lo hi)
+               (if tail = [] then ""
+                else
+                  "; latest: "
+                  ^ String.concat ", " (List.map (Causal.describe_send dag) tail))))
+        decided;
+    (* stall attribution *)
+    let entries, _ = phase_entries events in
+    let bound = sigma ~n ~k ~t in
+    let ws, _median = window_stats ~bound ~tick:meta.m_tick events entries in
+    let stalls = List.filter (fun w -> w.w_exceeds || w.w_stalled) ws in
+    Buffer.add_string buf "Stall-window drop attribution\n";
+    if stalls = [] then
+      Buffer.add_string buf "  no stall windows to attribute (see stall report)\n"
+    else
+      List.iter
+        (fun w ->
+          let nodes = List.init n (fun i -> i) in
+          let lagging =
+            List.filter
+              (fun node ->
+                match Hashtbl.find_opt entries (w.w_next, node) with
+                | Some tm -> tm > w.w_until
+                | None -> true)
+              nodes
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  phase %d window %.1f-%.1f ms (%s): receivers still behind at window \
+                end: %s\n"
+               w.w_phase (w.w_from *. 1000.0) (w.w_until *. 1000.0)
+               (if w.w_exceeds then "exceeds sigma" else "stall")
+               (if lagging = [] then "none"
+                else String.concat "," (List.map (Printf.sprintf "p%d") lagging)));
+          let chosen, uncovered =
+            Causal.attribute dag ~lagging ~from:w.w_from ~until:w.w_until
+          in
+          if chosen = [] then begin
+            (* no drop hit a lagging receiver; fall back to listing what
+               was lost in the window at all *)
+            match Causal.drops_in dag ~from:w.w_from ~until:w.w_until with
+            | [] ->
+                Buffer.add_string buf
+                  "    no mid-tagged drops inside this window (contention or CPU \
+                   backlog, not message loss)\n"
+            | drops ->
+                let rec take k = function
+                  | x :: rest when k > 0 -> x :: take (k - 1) rest
+                  | _ -> []
+                in
+                List.iter
+                  (fun (d : Causal.drop) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "    lost in window: %s — %s%s\n"
+                         (Causal.describe_send dag d.Causal.dr_mid)
+                         d.Causal.dr_kind
+                         (match d.Causal.dr_rx with
+                         | Some rx -> Printf.sprintf " to p%d" rx
+                         | None -> "")))
+                  (take 5 drops)
+          end
+          else begin
+            List.iter
+              (fun (mid, kind, covered) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "    %s — %s lost it to %s\n"
+                     (Causal.describe_send dag mid) kind
+                     (String.concat "," (List.map (Printf.sprintf "p%d") covered))))
+              chosen;
+            if uncovered <> [] then
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "    lagging for other reasons (no in-window drop): %s\n"
+                   (String.concat "," (List.map (Printf.sprintf "p%d") uncovered)))
+          end)
+        stalls;
+    Buffer.contents buf
+  end

@@ -19,3 +19,11 @@
 val sigma : n:int -> k:int -> t:int -> int
 
 val analyze : ?n:int -> ?k:int -> ?t:int -> Trace2.event list -> string
+
+val causal : ?n:int -> ?k:int -> ?t:int -> Trace2.event list -> string
+(** Causal upgrade of the stall report ([analyze --causal]): rebuilds
+    the happens-before DAG from mid-tagged events ({!Causal.build}),
+    prints each decision's justification chain, and attributes every
+    stall window to the dropped/jammed messages whose delivery the
+    lagging receivers were missing. Degrades to a well-formed notice on
+    traces without message ids. *)

@@ -23,6 +23,14 @@ let registry_key : (string * labels, cell) Hashtbl.t Domain.DLS.key =
 
 let registry () = Domain.DLS.get registry_key
 
+(* The receive pipeline's counters are almost all unlabeled; a separate
+   string-keyed table spares those call sites the (name, labels) tuple
+   allocation on every bump. *)
+let unlabeled_key : (string, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 128)
+
+let unlabeled () = Domain.DLS.get unlabeled_key
+
 let norm_labels labels = List.sort compare labels
 
 let kind_name = function
@@ -31,14 +39,24 @@ let kind_name = function
   | Cell_hist _ -> "histogram"
 
 let lookup name labels make =
-  let registry = registry () in
-  let key = (name, norm_labels labels) in
-  match Hashtbl.find_opt registry key with
-  | Some cell -> cell
-  | None ->
-      let cell = make () in
-      Hashtbl.add registry key cell;
-      cell
+  match labels with
+  | [] -> (
+      let unlabeled = unlabeled () in
+      match Hashtbl.find_opt unlabeled name with
+      | Some cell -> cell
+      | None ->
+          let cell = make () in
+          Hashtbl.add unlabeled name cell;
+          cell)
+  | _ -> (
+      let registry = registry () in
+      let key = (name, norm_labels labels) in
+      match Hashtbl.find_opt registry key with
+      | Some cell -> cell
+      | None ->
+          let cell = make () in
+          Hashtbl.add registry key cell;
+          cell)
 
 let type_clash name cell want =
   invalid_arg
@@ -69,7 +87,9 @@ let observe ?(labels = []) ~lo ~hi ~bins name v =
       h.h_sum <- h.h_sum +. v
   | cell -> type_clash name cell "histogram"
 
-let reset () = Hashtbl.reset (registry ())
+let reset () =
+  Hashtbl.reset (registry ());
+  Hashtbl.reset (unlabeled ())
 
 (* --- snapshots ----------------------------------------------------------- *)
 
@@ -78,25 +98,28 @@ type value = Counter of int | Gauge of float | Histogram of hist_snapshot
 type sample = { name : string; labels : labels; value : value }
 type snapshot = sample list
 
+let cell_value = function
+  | Cell_counter r -> Counter !r
+  | Cell_gauge r -> Gauge !r
+  | Cell_hist h ->
+      Histogram
+        {
+          lo = h.h_lo;
+          hi = h.h_hi;
+          counts = Util.Stats.Histogram.counts h.hist;
+          total = Util.Stats.Histogram.total h.hist;
+          sum = h.h_sum;
+        }
+
 let snapshot () =
+  let labeled =
+    Hashtbl.fold
+      (fun (name, labels) cell acc -> { name; labels; value = cell_value cell } :: acc)
+      (registry ()) []
+  in
   Hashtbl.fold
-    (fun (name, labels) cell acc ->
-      let value =
-        match cell with
-        | Cell_counter r -> Counter !r
-        | Cell_gauge r -> Gauge !r
-        | Cell_hist h ->
-            Histogram
-              {
-                lo = h.h_lo;
-                hi = h.h_hi;
-                counts = Util.Stats.Histogram.counts h.hist;
-                total = Util.Stats.Histogram.total h.hist;
-                sum = h.h_sum;
-              }
-      in
-      { name; labels; value } :: acc)
-    (registry ()) []
+    (fun name cell acc -> { name; labels = []; value = cell_value cell } :: acc)
+    (unlabeled ()) labeled
   |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
 
 let find snap ?(labels = []) name =

@@ -117,7 +117,25 @@ let parse_line line =
   | Error msg -> Error msg
   | Ok json -> event_of_json json
 
+(* Bumped whenever the event vocabulary changes incompatibly; exports
+   carry it as a leading pseudo-event so [load_file] can refuse traces
+   written by a different generation instead of mis-parsing them. *)
+let schema_version = 2
+
+let schema_header =
+  {
+    time = 0.0;
+    node = -1;
+    layer = "trace";
+    label = "schema";
+    fields = [ ("version", I schema_version) ];
+  }
+
+let is_schema_header e = e.layer = "trace" && e.label = "schema"
+
 let export_channel oc =
+  output_string oc (to_jsonl_line schema_header);
+  output_char oc '\n';
   let n = ref 0 in
   List.iter
     (fun e ->
@@ -140,14 +158,30 @@ let load_file path =
         (fun () ->
           let events = ref [] in
           let skipped = ref 0 in
+          let bad_version = ref None in
           (try
-             while true do
+             while !bad_version = None do
                let line = input_line ic in
                if String.trim line <> "" then begin
                  match parse_line line with
+                 | Ok e when is_schema_header e -> (
+                     (* version check; headerless legacy traces load as-is *)
+                     match List.assoc_opt "version" e.fields with
+                     | Some (I v) when v = schema_version -> ()
+                     | Some (I v) -> bad_version := Some v
+                     | _ -> bad_version := Some (-1))
                  | Ok e -> events := e :: !events
                  | Error _ -> incr skipped
                end
              done
            with End_of_file -> ());
-          Ok (List.rev !events, !skipped))
+          match !bad_version with
+          | Some v ->
+              Error
+                (Printf.sprintf
+                   "%s: trace schema version %s; this build reads version %d — re-export \
+                    the trace with a matching build"
+                   path
+                   (if v < 0 then "missing/malformed" else string_of_int v)
+                   schema_version)
+          | None -> Ok (List.rev !events, !skipped))

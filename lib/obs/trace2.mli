@@ -49,11 +49,20 @@ val event_of_json : Json.t -> (event, string) result
 val to_jsonl_line : event -> string
 val parse_line : string -> (event, string) result
 
+val schema_version : int
+(** Version of the exported event vocabulary. Exports start with a
+    pseudo-event line [{"layer":"trace","label":"schema",...}] carrying
+    it; [load_file] rejects files whose header names a different
+    version. *)
+
 val export_channel : out_channel -> int
-(** Writes the collected events as JSONL; returns the event count. *)
+(** Writes a schema header line, then the collected events as JSONL;
+    returns the event count (header excluded). *)
 
 val export_file : string -> int
 
 val load_file : string -> (event list * int, string) result
 (** Events plus the count of unparseable lines (tolerated and
-    skipped). *)
+    skipped). The schema header, when present, is checked against
+    {!schema_version} — a mismatch is an [Error] — and filtered from
+    the returned events; headerless legacy traces are accepted. *)

@@ -94,6 +94,59 @@ let test_with_memo_restores () =
   (try I.with_memo false (fun () -> failwith "boom") with Failure _ -> ());
   Alcotest.(check bool) "restored after raise" before (I.enabled ())
 
+(* --- profiler / causal tracing invisibility ---------------------------------- *)
+
+let small_sweep jobs () =
+  let k = 4 - Net.Fault.max_f 4 in
+  Harness.Sweeps.sigma_sweep_merged ~n:4 ~k ~runs_per_point:2 ~rounds:25 ~beyond:1
+    ~base_seed:77L ~jobs ()
+
+let test_profiler_invisible_to_results () =
+  (* the span profiler reads the host clock only; with it on, simulated
+     results must stay bit-identical to a plain run at -j 1 and -j 2 *)
+  let plain = small_sweep 1 () in
+  Obs.Prof.with_profiling true (fun () ->
+      Alcotest.(check bool) "profiled -j1 = plain" true (small_sweep 1 () = plain);
+      Alcotest.(check bool) "profiled samples collected" true
+        (List.exists (fun (s : Obs.Prof.stat) -> s.count > 0) (Obs.Prof.snapshot ()));
+      Alcotest.(check bool) "profiled -j2 = plain" true (small_sweep 2 () = plain));
+  Alcotest.(check bool) "profiling restored off" false (Obs.Prof.on ())
+
+let test_causal_tracing_invisible_to_results () =
+  (* tracing turns on mid minting and byte aliasing across every layer;
+     none of it may touch the simulation clock, RNG or metrics *)
+  let plain = small_sweep 1 () in
+  Net.Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Trace.stop ();
+      Net.Trace.clear ())
+    (fun () ->
+      Alcotest.(check bool) "traced -j1 = plain" true (small_sweep 1 () = plain);
+      Alcotest.(check bool) "traced -j2 = plain" true (small_sweep 2 () = plain))
+
+let test_profiler_span_mechanics () =
+  Obs.Prof.with_profiling true (fun () ->
+      Obs.Prof.reset ();
+      let t0 = Obs.Prof.start () in
+      Alcotest.(check bool) "start yields a real timestamp" true (t0 >= 0.0);
+      Obs.Prof.stop Obs.Prof.decode t0;
+      let stat =
+        List.find
+          (fun (s : Obs.Prof.stat) -> s.name = Obs.Prof.span_name Obs.Prof.decode)
+          (Obs.Prof.snapshot ())
+      in
+      Alcotest.(check int) "one sample" 1 stat.count;
+      Alcotest.(check bool) "quantile within bucket bounds" true
+        (Obs.Prof.bucket_quantile stat 0.5 >= stat.max_ns));
+  (* off: the sentinel makes stop a no-op *)
+  Obs.Prof.reset ();
+  let t0 = Obs.Prof.start () in
+  Alcotest.(check bool) "sentinel when off" true (t0 < 0.0);
+  Obs.Prof.stop Obs.Prof.decode t0;
+  Alcotest.(check bool) "no sample recorded when off" true
+    (List.for_all (fun (s : Obs.Prof.stat) -> s.count = 0) (Obs.Prof.snapshot ()))
+
 (* --- cache poisoning -------------------------------------------------------- *)
 
 let keyrings = lazy (Core.Keyring.setup (Util.Rng.create ~seed:5L) ~n:2 ~phases:4 ())
@@ -282,6 +335,11 @@ let suite =
         test_memo_off_emits_no_counters;
       Alcotest.test_case "memo on hits" `Quick test_memo_on_hits;
       Alcotest.test_case "with_memo restores" `Quick test_with_memo_restores;
+      Alcotest.test_case "profiler invisible to results" `Quick
+        test_profiler_invisible_to_results;
+      Alcotest.test_case "causal tracing invisible to results" `Quick
+        test_causal_tracing_invisible_to_results;
+      Alcotest.test_case "profiler span mechanics" `Quick test_profiler_span_mechanics;
       Alcotest.test_case "decode cache rejects forged prefix" `Quick
         test_decode_cache_rejects_forged_prefix;
       Alcotest.test_case "digest memo rejects forged proof" `Quick
