@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke chaos clean
 
 all: build
 
@@ -32,18 +32,36 @@ memo-smoke:
 
 # causal smoke: export a traced sigma-edge run and make sure the causal
 # analyzer reconstructs tagged sends from it end to end
+# (--require-causal exits 1 when the trace has no tagged sends, so the
+# gate reads the exit code instead of grepping the report text)
 causal-smoke:
 	dune exec bin/turquois_lab.exe -- run -n 8 --divergent --sigma-edge \
 	  --trace-json /tmp/turquois_causal_smoke.jsonl > /dev/null
 	dune exec bin/turquois_lab.exe -- analyze /tmp/turquois_causal_smoke.jsonl \
-	  --causal --timeline | grep -q "Causal analysis: [1-9]" \
+	  --causal --timeline --require-causal > /dev/null \
 	  || { echo "causal smoke failed: no tagged sends in the trace"; exit 1; }
 	rm -f /tmp/turquois_causal_smoke.jsonl
 
+# model-checker smoke: the exhaustive n=4 walk over two rounds must be
+# bit-identical at -j 1 and -j 2 (stats included — the printout carries
+# no timing), and its extracted worst-case schedule must replay (run
+# --replay exits 0 iff the artifact reproduces its recorded outcome)
+modelcheck-smoke:
+	dune exec bin/turquois_lab.exe -- modelcheck -n 4 --rounds 2 --quiet -j 1 \
+	  --out /tmp/turquois_mc_smoke.json > /tmp/turquois_mc_j1.txt
+	dune exec bin/turquois_lab.exe -- modelcheck -n 4 --rounds 2 --quiet -j 2 \
+	  --out /tmp/turquois_mc_smoke.json > /tmp/turquois_mc_j2.txt
+	cmp /tmp/turquois_mc_j1.txt /tmp/turquois_mc_j2.txt \
+	  || { echo "modelcheck smoke failed: -j 1 and -j 2 walks diverged"; exit 1; }
+	dune exec bin/turquois_lab.exe -- run --replay /tmp/turquois_mc_smoke.json \
+	  > /dev/null \
+	  || { echo "modelcheck smoke failed: worst-case schedule did not replay"; exit 1; }
+	rm -f /tmp/turquois_mc_smoke.json /tmp/turquois_mc_j1.txt /tmp/turquois_mc_j2.txt
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
 # the chaos smoke sweep, the parallel-pool smoke, the memo smoke, the
-# causal-trace smoke and the perf regression gate
-check: fmt build test chaos pool-smoke memo-smoke causal-smoke bench-compare
+# causal-trace smoke, the model-checker smoke and the perf regression gate
+check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke bench-compare
 
 bench:
 	dune exec bench/main.exe -- --quick

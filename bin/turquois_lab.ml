@@ -1,10 +1,11 @@
 (* turquois-lab: command-line front end for the reproduction experiments.
 
    Subcommands:
-     tables  — regenerate the paper's Tables 1-3 (latency per fault load)
-     sigma   — sweep the omission budget around the liveness bound
-     phases  — decision-phase distributions (paper 7.3)
-     run     — one verbose consensus execution *)
+     tables     — regenerate the paper's Tables 1-3 (latency per fault load)
+     sigma      — sweep the omission budget around the liveness bound
+     phases     — decision-phase distributions (paper 7.3)
+     run        — one verbose consensus execution (or replay a saved reproducer)
+     modelcheck — exhaustively check all adversary schedules of a small group *)
 
 open Cmdliner
 
@@ -219,9 +220,31 @@ let load_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Fault.load_to_string l))
 
-let run_single protocol n divergent load seed loss trace metrics trace_json profile
+let run_replay file =
+  match Model.Codec.load file with
+  | Error msg ->
+      Printf.eprintf "replay: %s\n" msg;
+      1
+  | Ok artifact ->
+      Printf.printf "replay %s\n  %s\n" file (Model.Codec.describe artifact);
+      let v = Model.Replay.run artifact in
+      Printf.printf "  %s\n" v.detail;
+      List.iter (fun s -> Printf.printf "    %s\n" s) v.violations;
+      if v.ok then begin
+        Printf.printf "  reproduced: outcome matches the artifact\n";
+        0
+      end
+      else begin
+        Printf.printf "  REPLAY MISMATCH: behavior changed since this artifact was extracted\n";
+        1
+      end
+
+let run_single replay protocol n divergent load seed loss trace metrics trace_json profile
     sigma_edge jobs no_memo =
   apply_memo no_memo;
+  match replay with
+  | Some file -> run_replay file
+  | None ->
   let dist = if divergent then Harness.Runner.Divergent else Harness.Runner.Unanimous in
   let conditions = { Net.Fault.benign_conditions with loss_prob = loss } in
   (* trace buffers are domain-local, so a meaningful event order only
@@ -322,11 +345,19 @@ let run_cmd =
              ~doc:"Attach the sigma-edge omission adversary (worst-case Section 5 drop \
                    schedule at exactly the liveness bound).")
   in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a saved reproducer artifact (from modelcheck --out or chaos \
+                   --repro-out) instead of a fresh run, verify it reproduces its recorded \
+                   outcome, and exit non-zero on any mismatch. All other run options are \
+                   ignored: the artifact pins the full configuration.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"One verbose consensus execution")
     Term.(
-      const run_single $ protocol_arg $ n_arg $ divergent_arg $ load_arg $ seed_arg
-      $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ profile_arg
+      const run_single $ replay_arg $ protocol_arg $ n_arg $ divergent_arg $ load_arg
+      $ seed_arg $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ profile_arg
       $ sigma_edge_arg $ jobs_arg $ no_memo_arg)
 
 (* --- chaos ------------------------------------------------------------------ *)
@@ -343,7 +374,56 @@ let strategy_conv =
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Strategy.name s))
 
-let run_chaos runs seed n strategy broken quiet jobs no_memo =
+let rec mkdirs dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* One replayable artifact per failure, under the model-checker codec so
+   [run --replay] consumes chaos reproducers and modelcheck schedules
+   alike. The expectation is re-measured on the minimal schedule (the
+   recorded violations belong to the pre-shrink one); if shrinking ever
+   overfit, the full schedule is written instead. *)
+let write_repro dir ~n ~bug (f : Harness.Chaos.failure) =
+  mkdirs dir;
+  let strategy =
+    Option.map (fun s -> Option.get (Core.Strategy.of_string s)) f.strategy
+  in
+  let check schedule =
+    Harness.Chaos.check_schedule ~protocol:f.protocol ~n ~bug ~dist:f.dist ?strategy ~schedule
+      ~seed:f.seed ()
+  in
+  let schedule, violations =
+    match check f.shrunk with
+    | [] -> (f.schedule, check f.schedule)
+    | vs -> (f.shrunk, vs)
+  in
+  let artifact =
+    Model.Codec.Radio
+      {
+        c_protocol = f.protocol;
+        c_n = n;
+        c_dist = f.dist;
+        c_strategy = f.strategy;
+        c_seed = f.seed;
+        c_bug = bug <> Harness.Chaos.No_bug;
+        c_schedule = schedule;
+        c_expect = violations;
+        c_note = Printf.sprintf "chaos run %d minimal reproducer" f.index;
+      }
+  in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "chaos-%s-run%d.json"
+         (String.lowercase_ascii (Harness.Runner.protocol_to_string f.protocol))
+         f.index)
+  in
+  Model.Codec.save path artifact;
+  Printf.printf "  wrote reproducer %s (replay: turquois_lab run --replay %s)\n" path path
+
+let run_chaos runs seed n strategy broken repro_out quiet jobs no_memo =
   apply_memo no_memo;
   let log = if quiet then fun _ -> () else progress in
   let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
@@ -366,6 +446,9 @@ let run_chaos runs seed n strategy broken quiet jobs no_memo =
         (Net.Schedule.to_string f.shrunk) (f.index + 1) seed
         (match f.strategy with Some s -> " --strategy " ^ s | None -> ""))
     report.failures;
+  (match repro_out with
+  | Some dir -> List.iter (write_repro dir ~n ~bug) report.failures
+  | None -> ());
   if report.failures = [] then 0 else 1
 
 let chaos_cmd =
@@ -386,12 +469,18 @@ let chaos_cmd =
              ~doc:"Inject a deliberately broken machine (flipped reported decision); the \
                    harness must detect it and exit non-zero.")
   in
+  let repro_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "repro-out" ] ~docv:"DIR"
+             ~doc:"Write each failure's minimal schedule to $(docv) as a replayable \
+                   artifact (one JSON file per failure) for run --replay.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
     Term.(
-      const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg $ quiet_arg
-      $ jobs_arg $ no_memo_arg)
+      const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg
+      $ repro_out_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
 
 (* --- memocheck --------------------------------------------------------------- *)
 
@@ -465,9 +554,132 @@ let memocheck_cmd =
           memoization off and on")
     Term.(const run_memocheck $ seed_arg $ quiet_arg)
 
+(* --- modelcheck -------------------------------------------------------------- *)
+
+let run_modelcheck n k byz budget exact rounds strategies divergent seed jobs max_states out
+    quiet no_memo =
+  apply_memo no_memo;
+  let log = if quiet then fun _ -> () else progress in
+  let byzantine = Option.map (fun t -> List.init t (fun i -> n - 1 - i)) byz in
+  let dist = if divergent then Some Harness.Runner.Divergent else None in
+  let cfg =
+    Model.Checker.config ~n ?k ?byzantine ?dist ?budget ~exact_budget:exact
+      ?alphabet:strategies ~rounds ~seed ~jobs ~max_states ()
+  in
+  let t = List.length cfg.byzantine in
+  let sigma = Harness.Abstract_rounds.sigma ~n ~k:cfg.k ~t in
+  let result = Model.Checker.check ~log cfg in
+  let s = result.stats in
+  Printf.printf "modelcheck n=%d k=%d t=%d %s budget=%d%s rounds=%d (sigma=%d)\n" n cfg.k t
+    (Harness.Runner.dist_to_string cfg.dist)
+    cfg.budget
+    (if cfg.exact_budget then " exact" else "")
+    cfg.rounds sigma;
+  Printf.printf
+    "  explored %d states over %d transitions (%d choices/round, %d duplicates pruned, \
+     frontier peak %d)\n"
+    s.states s.transitions s.choices_per_round s.dedup_hits s.frontier_peak;
+  if s.pruned > 0 then
+    Printf.printf "  state cap %d exceeded: %d states kept without dedup (lossy)\n"
+      cfg.max_states s.pruned;
+  let save artifact =
+    match out with
+    | None -> ()
+    | Some path ->
+        Model.Codec.save path (Model.Codec.Rounds artifact);
+        Printf.printf "  wrote %s (replay: turquois_lab run --replay %s)\n" path path
+  in
+  match result.outcome with
+  | Violation artifact ->
+      Printf.printf "  VIOLATION after %d round(s): %s\n"
+        (List.length artifact.r_rounds)
+        (match artifact.r_expect with
+        | Model.Codec.Violations vs -> String.concat "; " vs
+        | _ -> "");
+      save artifact;
+      1
+  | Safe { worst; min_deciders; min_advanced } ->
+      Printf.printf
+        "  safety: agreement, validity and integrity hold on every reachable state\n";
+      Printf.printf "  worst horizon state: deciders=%d advanced=%d (k=%d, min deciders %d, \
+                     min advanced %d)\n"
+        (match worst.r_expect with
+        | Model.Codec.Stall { deciders; _ } -> deciders
+        | _ -> 0)
+        (match worst.r_expect with
+        | Model.Codec.Stall { advanced; _ } -> advanced
+        | _ -> 0)
+        cfg.k min_deciders min_advanced;
+      let correct = n - t in
+      Printf.printf "  worst-case deliveries per round: [%s] of %d correct-pair transmissions\n"
+        (String.concat "; "
+           (List.map string_of_int (Model.Codec.delivered_per_round worst)))
+        (correct * (correct - 1));
+      save worst;
+      0
+
+let modelcheck_cmd =
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let k_arg =
+    Arg.(value & opt (some int) None
+         & info [ "k" ] ~docv:"K" ~doc:"Processes required to decide (default n-f).")
+  in
+  let byz_arg =
+    Arg.(value & opt (some int) None
+         & info [ "byzantine" ] ~docv:"T"
+             ~doc:"Number of Byzantine processes (default f = (n-1)/3; the highest ids).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"B"
+             ~doc:"Per-round omission budget among correct pairs (default sigma).")
+  in
+  let exact_arg =
+    Arg.(value & flag
+         & info [ "exact-budget" ]
+             ~doc:"Enumerate only omission patterns of exactly the budget size (sound for \
+                   stall-witness search, much cheaper).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~docv:"R" ~doc:"Round horizon.")
+  in
+  let strategies_arg =
+    Arg.(value & opt (some (list strategy_conv)) None
+         & info [ "strategies" ] ~docv:"NAME,..."
+             ~doc:"Byzantine per-round choice alphabet (default: every deterministic \
+                   strategy). Per-round silence subsumes crash points.")
+  in
+  let divergent_arg =
+    Arg.(value & flag & info [ "divergent" ] ~doc:"Divergent proposals (default unanimous).")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 2_000_000
+         & info [ "max-states" ] ~docv:"S"
+             ~doc:"Per-level dedup-table cap; past it dedup degrades to lossy (results \
+                   stay exact, duplicates may re-expand).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the extracted schedule (the violation, or the worst-case \
+                   liveness schedule) as a replayable artifact for run --replay.")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Exhaustively check every adversary schedule of a small group up to a round \
+          horizon: prove safety or emit a violating schedule, and extract the worst-case \
+          liveness schedule as a replayable artifact")
+    Term.(
+      const run_modelcheck $ n_arg $ k_arg $ byz_arg $ budget_arg $ exact_arg $ rounds_arg
+      $ strategies_arg $ divergent_arg $ seed_arg $ jobs_arg $ max_states_arg $ out_arg
+      $ quiet_arg $ no_memo_arg)
+
 (* --- analyze ---------------------------------------------------------------- *)
 
-let run_analyze file n k t causal timeline =
+let run_analyze file n k t causal timeline require_causal =
   match Obs.Trace2.load_file file with
   | Error msg ->
       Printf.eprintf "analyze: %s\n" msg;
@@ -485,11 +697,17 @@ let run_analyze file n k t causal timeline =
           print_newline ();
           print_string (Obs.Timeline.render ?n events)
         end;
-        if causal then begin
+        if causal || require_causal then begin
           print_newline ();
           print_string (Obs.Analyze.causal ?n ?k ?t events)
         end;
-        0
+        if require_causal
+           && Hashtbl.length (Obs.Causal.build events).Obs.Causal.sends = 0
+        then begin
+          Printf.eprintf "analyze: no causal message ids in %s (--require-causal)\n" file;
+          1
+        end
+        else 0
       end
 
 let analyze_cmd =
@@ -522,10 +740,19 @@ let analyze_cmd =
              ~doc:"Also render a per-node ASCII Gantt (phase / decided / crashed \
                    intervals).")
   in
+  let require_causal_arg =
+    Arg.(value & flag
+         & info [ "require-causal" ]
+             ~doc:"Run the causal analysis and exit non-zero unless the trace carries \
+                   causal message ids (tagged sends) — an exit-code gate for CI instead \
+                   of grepping the report.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Reconstruct airtime, per-round timelines and a sigma stall report from a JSONL trace")
-    Term.(const run_analyze $ file_arg $ n_arg $ k_arg $ t_arg $ causal_arg $ timeline_arg)
+    Term.(
+      const run_analyze $ file_arg $ n_arg $ k_arg $ t_arg $ causal_arg $ timeline_arg
+      $ require_causal_arg)
 
 let main_cmd =
   let doc = "Turquois (DSN 2010) reproduction laboratory" in
@@ -538,6 +765,7 @@ let main_cmd =
       run_cmd;
       chaos_cmd;
       memocheck_cmd;
+      modelcheck_cmd;
       analyze_cmd;
     ]
 

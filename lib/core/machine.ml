@@ -27,6 +27,10 @@ type t = {
   mutable last_broadcast : (int * Proto.value * Proto.status) option;
   decided_claims : (int, int) Hashtbl.t;  (* sender -> claimed decided value *)
   stats : stats;
+  (* local-coin draws so far: together with the creation seed this pins
+     the rng position, making {!fingerprint} capture the machine's full
+     future behavior without serializing generator internals *)
+  mutable coin_flips : int;
 }
 
 let id t = Keyring.owner t.keyring
@@ -59,7 +63,85 @@ let create cfg ~keyring ~rng ?(behavior = Correct) ~proposal () =
     last_broadcast = None;
     decided_claims = Hashtbl.create 16;
     stats = { accepted = 0; rejected_auth = 0; duplicates = 0; pending_peak = 0 };
+    coin_flips = 0;
   }
+
+(* Keyrings are immutable after setup and shared between clones; every
+   mutable container is copied (messages themselves are immutable). *)
+let clone t =
+  {
+    cfg = t.cfg;
+    keyring = t.keyring;
+    rng = Util.Rng.copy t.rng;
+    behavior = t.behavior;
+    phase_i = t.phase_i;
+    v_i = t.v_i;
+    origin_i = t.origin_i;
+    status_i = t.status_i;
+    v = Vset.clone t.v;
+    pending = Hashtbl.copy t.pending;
+    pending_count = t.pending_count;
+    decision = t.decision;
+    decision_phase = t.decision_phase;
+    decided_quorum_phase = t.decided_quorum_phase;
+    last_broadcast = t.last_broadcast;
+    decided_claims = Hashtbl.copy t.decided_claims;
+    stats =
+      {
+        accepted = t.stats.accepted;
+        rejected_auth = t.stats.rejected_auth;
+        duplicates = t.stats.duplicates;
+        pending_peak = t.stats.pending_peak;
+      };
+    coin_flips = t.coin_flips;
+  }
+
+(* Canonical serialization of everything that shapes future behavior:
+   the protocol variables, the V set, the pending pool (slot order
+   preserved — admission order decides which copy becomes a slot's
+   primary), the decided-claims tally, and the rng position via the
+   coin-flip count. Two machines with equal fingerprints, equal
+   configs/keyrings and equal creation seeds behave identically on
+   identical future inputs — the soundness condition of the model
+   checker's memoized state dedup. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "m%d:ph%d:v%d:o%d:st%d:d%s:dp%s:dq%s:cf%d:lb%s"
+       (Keyring.owner t.keyring) t.phase_i
+       (Proto.value_to_int t.v_i)
+       (match t.origin_i with Proto.Deterministic -> 0 | Proto.Random -> 1)
+       (match t.status_i with Proto.Undecided -> 0 | Proto.Decided -> 1)
+       (match t.decision with None -> "-" | Some d -> string_of_int d)
+       (match t.decision_phase with None -> "-" | Some p -> string_of_int p)
+       (match t.decided_quorum_phase with None -> "-" | Some p -> string_of_int p)
+       t.coin_flips
+       (match t.last_broadcast with
+       | None -> "-"
+       | Some (p, v, s) ->
+           Printf.sprintf "%d.%d.%d" p (Proto.value_to_int v)
+             (match s with Proto.Undecided -> 0 | Proto.Decided -> 1)));
+  Buffer.add_string buf "|V:";
+  Vset.canonical t.v buf;
+  Buffer.add_string buf "|P:";
+  let pending_keys = Hashtbl.fold (fun key _ acc -> key :: acc) t.pending [] in
+  List.iter
+    (fun ((sender, phase) as key) ->
+      Buffer.add_string buf (Printf.sprintf "s%dp%d=" sender phase);
+      List.iter
+        (fun (m : Message.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d.%d.%d;" (Proto.value_to_int m.value)
+               (match m.origin with Proto.Deterministic -> 0 | Proto.Random -> 1)
+               (match m.status with Proto.Undecided -> 0 | Proto.Decided -> 1)))
+        (Hashtbl.find t.pending key))
+    (List.sort compare pending_keys);
+  Buffer.add_string buf "|C:";
+  let claims = Hashtbl.fold (fun sender v acc -> (sender, v) :: acc) t.decided_claims [] in
+  List.iter
+    (fun (sender, v) -> Buffer.add_string buf (Printf.sprintf "%d=%d;" sender v))
+    (List.sort compare claims);
+  Buffer.contents buf
 
 (* --- outgoing ----------------------------------------------------------- *)
 
@@ -190,6 +272,37 @@ let sign_wire t (w : Strategy.wire) =
     proof;
   }
 
+let emit_strategy t strategy ~justify =
+  let view =
+    {
+      Strategy.phase = t.phase_i;
+      value = t.v_i;
+      status = t.status_i;
+      n = t.cfg.n;
+      self = id t;
+    }
+  in
+  match Strategy.plan strategy ~rng:t.rng view with
+  | Strategy.Skip -> Quiet
+  | Strategy.Emit w ->
+      let msg = sign_wire t w in
+      let justification = if justify then build_justification t else [] in
+      t.last_broadcast <- Some (t.phase_i, msg.value, msg.status);
+      Broadcast { Message.msg; justification }
+  | Strategy.Emit_per_receiver f ->
+      let outs =
+        List.filter_map
+          (fun rx ->
+            if rx = id t then None
+            else
+              match f rx with
+              | None -> None
+              | Some w -> Some (rx, { Message.msg = sign_wire t w; justification = [] }))
+          (List.init t.cfg.n (fun i -> i))
+      in
+      t.last_broadcast <- Some (t.phase_i, t.v_i, t.status_i);
+      Per_receiver outs
+
 let emit t ~justify =
   if t.phase_i > t.cfg.max_phases then Quiet
   else
@@ -206,37 +319,10 @@ let emit t ~justify =
            directly (any loopback copy is deduplicated) *)
         ignore (Vset.add t.v msg);
         Broadcast { Message.msg; justification }
-    | Byzantine strategy -> begin
-        let view =
-          {
-            Strategy.phase = t.phase_i;
-            value = t.v_i;
-            status = t.status_i;
-            n = t.cfg.n;
-            self = id t;
-          }
-        in
-        match Strategy.plan strategy ~rng:t.rng view with
-        | Strategy.Skip -> Quiet
-        | Strategy.Emit w ->
-            let msg = sign_wire t w in
-            let justification = if justify then build_justification t else [] in
-            t.last_broadcast <- Some (t.phase_i, msg.value, msg.status);
-            Broadcast { Message.msg; justification }
-        | Strategy.Emit_per_receiver f ->
-            let outs =
-              List.filter_map
-                (fun rx ->
-                  if rx = id t then None
-                  else
-                    match f rx with
-                    | None -> None
-                    | Some w -> Some (rx, { Message.msg = sign_wire t w; justification = [] }))
-                (List.init t.cfg.n (fun i -> i))
-            in
-            t.last_broadcast <- Some (t.phase_i, t.v_i, t.status_i);
-            Per_receiver outs
-      end
+    | Byzantine strategy -> emit_strategy t strategy ~justify
+
+let emit_as t ~strategy ~justify =
+  if t.phase_i > t.cfg.max_phases then Quiet else emit_strategy t strategy ~justify
 
 let prepare t ~justify =
   match emit t ~justify with
@@ -251,6 +337,7 @@ let prepare t ~justify =
 
 let local_coin t =
   Obs.Metrics.incr "proto.coin_flips" ~labels:[ ("proto", "turquois") ];
+  t.coin_flips <- t.coin_flips + 1;
   if Util.Rng.bool t.rng then Proto.V1 else Proto.V0
 
 (* Transition rule 1 (lines 10-18): adopt the state of a higher-phase

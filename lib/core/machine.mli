@@ -55,6 +55,20 @@ type transmission =
   | Per_receiver of (int * Message.envelope) list
       (** receiver-specific frames (equivocation); shipped as unicasts *)
 
+val clone : t -> t
+(** An independent deep copy: same config/keyring (immutable, shared),
+    copied rng state and mutable containers. The model checker forks a
+    whole group per enumerated adversary choice; stepping a clone never
+    affects the original. *)
+
+val fingerprint : t -> string
+(** Canonical serialization of everything that shapes future behavior:
+    protocol variables, V set, pending pool (admission order preserved),
+    decided claims, and the rng position via the local-coin draw count.
+    Machines created with the same config, keyring and rng seed that
+    reach equal fingerprints behave identically on identical future
+    inputs — the soundness condition for memoized state dedup. *)
+
 val emit : t -> justify:bool -> transmission
 (** The transmission for the current state (task T1). Correct and
     [Attacker] machines broadcast; [Byzantine] machines follow their
@@ -62,6 +76,13 @@ val emit : t -> justify:bool -> transmission
     [justify], the explicit-validation bundle is attached. Correct
     machines also record their own message in their V set. [Quiet] once
     the phase exceeds the one-time key horizon. *)
+
+val emit_as : t -> strategy:Strategy.t -> justify:bool -> transmission
+(** The transmission the given strategy produces from this machine's
+    current state, regardless of the machine's own behavior — the hook
+    for externally-driven adversaries that pick a fresh strategy every
+    round (the model checker's Byzantine enumeration). Frames are signed
+    with the machine's keyring; [Quiet] past the key horizon. *)
 
 val prepare : t -> justify:bool -> Message.envelope option
 (** {!emit} restricted to broadcast: [Quiet] and [Per_receiver] map to

@@ -25,11 +25,24 @@ let honest view =
 
 type plan = Skip | Emit of wire | Emit_per_receiver of (int -> wire option)
 
-type t = { name : string; describe : string; plan : rng:Util.Rng.t -> view -> plan }
+type t = {
+  name : string;
+  describe : string;
+  (* [plan] never draws from the rng when [deterministic] — the model
+     checker's enumerable alphabet is restricted to strategies whose
+     frames are a pure function of the view, so a state's fingerprint
+     fully determines its successors *)
+  deterministic : bool;
+  plan : rng:Util.Rng.t -> view -> plan;
+}
 
 let name s = s.name
 let describe s = s.describe
 let plan s = s.plan
+let is_deterministic s = s.deterministic
+
+let scripted ~name ~describe plan =
+  { name; describe; deterministic = true; plan = (fun ~rng:_ view -> plan view) }
 
 let flip = function Proto.V0 -> Proto.V1 | Proto.V1 -> Proto.V0 | Proto.Vbot -> Proto.V1
 
@@ -39,6 +52,7 @@ let value_flip =
   {
     name = "value-flip";
     describe = "flipped value in CONVERGE/LOCK, bottom in DECIDE (the paper's Table 3 attack)";
+    deterministic = true;
     plan =
       (fun ~rng:_ view ->
         let w_value =
@@ -62,6 +76,7 @@ let equivocate =
   {
     name = "equivocate";
     describe = "V0 to even-id receivers, V1 to odd-id receivers, via unicast";
+    deterministic = true;
     plan =
       (fun ~rng:_ _view ->
         Emit_per_receiver
@@ -82,6 +97,7 @@ let stale_replay =
   {
     name = "stale-replay";
     describe = "replays phase max(1, phi-3) with its already-revealed one-time key";
+    deterministic = false;
     plan =
       (fun ~rng view ->
         let old_phase = max 1 (view.phase - 3) in
@@ -101,6 +117,7 @@ let forge_sig =
   {
     name = "forge-sig";
     describe = "honest-looking fields under a corrupted one-time signature";
+    deterministic = true;
     plan = (fun ~rng:_ view -> Emit { (honest view) with w_garble = true });
   }
 
@@ -110,6 +127,7 @@ let selective_silence =
   {
     name = "selective-silence";
     describe = "honest state unicast to odd-id receivers only; even ids hear nothing";
+    deterministic = true;
     plan =
       (fun ~rng:_ view ->
         Emit_per_receiver (fun rx -> if rx mod 2 = 0 then None else Some (honest view)));
@@ -119,6 +137,7 @@ let silent =
   {
     name = "silent";
     describe = "never transmits (pure crash from the group's point of view)";
+    deterministic = true;
     plan = (fun ~rng:_ _ -> Skip);
   }
 
@@ -128,6 +147,7 @@ let random_values =
   {
     name = "random-values";
     describe = "a fresh random (value, status) each broadcast, correctly signed";
+    deterministic = false;
     plan =
       (fun ~rng _ ->
         let w_value =
@@ -149,6 +169,7 @@ let alternate a b =
   {
     name = Printf.sprintf "%s/%s" a.name b.name;
     describe = Printf.sprintf "phase-alternating: %s on odd phases, %s on even" a.name b.name;
+    deterministic = a.deterministic && b.deterministic;
     plan =
       (fun ~rng view ->
         if view.phase mod 2 = 1 then a.plan ~rng view else b.plan ~rng view);
@@ -165,6 +186,15 @@ let all =
     random_values;
     alternate equivocate stale_replay;
   ]
+
+(* The model checker's per-round Byzantine alphabet: the deterministic
+   strategies, in a stable order. [silent] first — a Byzantine process
+   that picks it from some round onwards is exactly a crash point, so
+   crash schedules are a subset of the enumeration. [forge_sig] is
+   deterministic but excluded: every forged frame dies at the
+   authenticity check, so against the enumerator it is behaviorally
+   identical to [silent] and would only inflate the branching factor. *)
+let enumerable = [ silent; value_flip; equivocate; selective_silence ]
 
 let of_string s =
   List.find_opt (fun strategy -> strategy.name = String.lowercase_ascii s) all

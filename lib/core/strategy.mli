@@ -77,6 +77,24 @@ val all : t list
 (** Every built-in strategy (including one composed example), in a
     stable order — the chaos harness and CLI iterate this. *)
 
+val enumerable : t list
+(** The model checker's per-round Byzantine alphabet: every built-in
+    strategy whose plan is a pure function of the view (no rng draws),
+    in a stable order. Picking {!silent} from some round onwards is a
+    crash point, so crash schedules are covered by the enumeration.
+    {!forge_sig} is omitted — its frames all die at the authenticity
+    check, making it behaviorally identical to {!silent} here. *)
+
+val is_deterministic : t -> bool
+(** The strategy's plan never consults the rng — a state fingerprint
+    fully determines its successors, the property the model checker's
+    memoization relies on. *)
+
+val scripted : name:string -> describe:string -> (view -> plan) -> t
+(** A deterministic strategy from a pure plan function, for
+    externally-driven adversaries (the model checker scripts one frame
+    choice per round). *)
+
 val of_string : string -> t option
 (** Look up by {!name} (case-insensitive). *)
 

@@ -89,6 +89,48 @@ let add t (m : Message.t) =
   Obs.Prof.stop Obs.Prof.vset_tally sp;
   inserted
 
+let clone t =
+  let by_phase = Hashtbl.create (Hashtbl.length t.by_phase) in
+  Hashtbl.iter (fun phase slots -> Hashtbl.add by_phase phase (Array.copy slots)) t.by_phase;
+  {
+    n = t.n;
+    by_phase;
+    extras = Hashtbl.copy t.extras;
+    phase_tally = Hashtbl.copy t.phase_tally;
+    value_tally = Hashtbl.copy t.value_tally;
+    highest = t.highest;
+    total = t.total;
+  }
+
+(* Canonical serialization for state fingerprinting: phases ascending,
+   then per phase each sender's primary followed by its extras in stored
+   order. The extras order is preserved (not sorted) because it shapes
+   [copies]/[messages_at] and hence justification bundles — two states
+   may only share a fingerprint when their future behavior is
+   identical. Proof bytes are omitted: given fixed key material they are
+   a function of the header. *)
+let canonical t buf =
+  let header (m : Message.t) =
+    Buffer.add_string buf
+      (Printf.sprintf "%d.%d.%d.%d.%d;" m.sender m.phase (Proto.value_to_int m.value)
+         (match m.origin with Proto.Deterministic -> 0 | Proto.Random -> 1)
+         (match m.status with Proto.Undecided -> 0 | Proto.Decided -> 1))
+  in
+  let phases = Hashtbl.fold (fun phase _ acc -> phase :: acc) t.by_phase [] in
+  List.iter
+    (fun phase ->
+      Buffer.add_string buf (Printf.sprintf "|p%d:" phase);
+      let slots = Hashtbl.find t.by_phase phase in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (m : Message.t) ->
+              header m;
+              List.iter header
+                (Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, phase))))
+        slots)
+    (List.sort compare phases)
+
 let find t ~sender ~phase =
   match Hashtbl.find_opt t.by_phase phase with
   | None -> None

@@ -61,3 +61,15 @@ val highest_message : t -> Message.t option
 
 val size : t -> int
 (** Total stored messages. *)
+
+val clone : t -> t
+(** An independent deep copy (messages themselves are immutable and
+    shared). The model checker forks a machine's V set per enumerated
+    adversary choice. *)
+
+val canonical : t -> Buffer.t -> unit
+(** Appends a canonical serialization of the whole set (phases
+    ascending; per slot the primary then its equivocated extras in
+    stored order; proof bytes omitted) to [buf] — the V-set component of
+    {!Machine.fingerprint}. Equal serializations imply identical future
+    behavior under identical inputs. *)

@@ -165,6 +165,137 @@ let run ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ?(adversary = Random_
   in
   { deciders; rounds_to_k = !rounds_to_k; agreement; validity }
 
+(* --- externally-driven rounds (model-checker hook) ----------------------- *)
+
+module Driven = struct
+  type sim = {
+    machines : Core.Machine.t array;
+    correct : int list;
+    byzantine : int list;
+    dist : Runner.dist;
+    mutable round : int;
+  }
+
+  (* Key material comes from the deterministic per-(n, phases) cache
+     unconditionally: the checker enumerates thousands of sims and its
+     results are key-independent, so there is no memo-off contract to
+     honor here (unlike [run], whose rng stream predates the cache). *)
+  let create ~n ~k ?(byzantine = []) ?(dist = Runner.Unanimous) ~horizon ~seed () =
+    let rng = Util.Rng.create ~seed in
+    let cfg = { (Core.Proto.default_config ~n) with k; max_phases = (3 * horizon) + 9 } in
+    let keyrings =
+      Runner.keyrings_for
+        ~seed:(Util.Rng.derive ~base:0x7153A1L [ n; cfg.max_phases ])
+        ~n ~phases:cfg.max_phases
+    in
+    let proposals = Runner.proposals dist ~n in
+    (* the closure splits [rng]: application order must be pinned *)
+    let machines =
+      Util.Init.array n (fun i ->
+          let behavior =
+            if List.mem i byzantine then Core.Machine.Byzantine Core.Strategy.silent
+            else Core.Machine.Correct
+          in
+          Core.Machine.create cfg ~keyring:keyrings.(i) ~rng:(Util.Rng.split rng) ~behavior
+            ~proposal:proposals.(i) ())
+    in
+    let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n (fun i -> i)) in
+    { machines; correct; byzantine; dist; round = 0 }
+
+  let clone sim =
+    {
+      machines = Array.map Core.Machine.clone sim.machines;
+      correct = sim.correct;
+      byzantine = sim.byzantine;
+      dist = sim.dist;
+      round = sim.round;
+    }
+
+  let step sim ~drops ~byz =
+    sim.round <- sim.round + 1;
+    let n = Array.length sim.machines in
+    let is_dropped s r = List.mem (s, r) drops in
+    (* everyone prepares first (self-insertion happens inside emit), then
+       deliveries happen "simultaneously"; Byzantine machines follow the
+       round's scripted strategy, defaulting to silence (a crash) *)
+    let transmissions =
+      Util.Init.array n (fun i ->
+          if List.mem i sim.byzantine then
+            match List.assoc_opt i byz with
+            | Some strategy -> Core.Machine.emit_as sim.machines.(i) ~strategy ~justify:true
+            | None -> Core.Machine.Quiet
+          else Core.Machine.emit sim.machines.(i) ~justify:true)
+    in
+    let deliver s r env =
+      if r <> s && not (is_dropped s r) then
+        ignore (Core.Machine.handle sim.machines.(r) env)
+    in
+    Array.iteri
+      (fun s tx ->
+        match tx with
+        | Core.Machine.Quiet -> ()
+        | Core.Machine.Broadcast env ->
+            List.iter (fun r -> deliver s r env) (List.init n (fun i -> i))
+        | Core.Machine.Per_receiver outs ->
+            List.iter (fun (r, env) -> deliver s r env) outs)
+      transmissions
+
+  let round sim = sim.round
+  let correct sim = sim.correct
+
+  let decisions sim =
+    List.filter_map
+      (fun i ->
+        match Core.Machine.decision sim.machines.(i) with
+        | Some v -> Some (i, v)
+        | None -> None)
+      sim.correct
+
+  let deciders sim = List.length (decisions sim)
+
+  let advanced sim =
+    List.length
+      (List.filter (fun i -> Core.Machine.phase sim.machines.(i) > 1) sim.correct)
+
+  (* Safety invariants over the current state; same clauses as the chaos
+     harness, phrased over the abstract sim. *)
+  let violations sim =
+    let out = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+    let ds = decisions sim in
+    (match ds with
+    | [] -> ()
+    | (_, v0) :: rest ->
+        List.iter
+          (fun (i, v) ->
+            if v <> v0 then add "agreement: p%d decided %d, others %d" i v v0)
+          rest);
+    (match sim.dist with
+    | Runner.Unanimous ->
+        List.iter
+          (fun (i, v) ->
+            if v <> 1 then add "validity: p%d decided %d against unanimous 1" i v)
+          ds
+    | Runner.Divergent -> ());
+    List.iter
+      (fun (i, v) -> if v <> 0 && v <> 1 then add "integrity: p%d decided non-binary %d" i v)
+      ds;
+    List.rev !out
+
+  (* Concatenated machine fingerprints: machines are positional, so the
+     concatenation canonically identifies the whole group state. The
+     round counter is deliberately excluded — a state revisited later in
+     the walk has a future subtree contained in the first visit's. *)
+  let fingerprint sim =
+    let buf = Buffer.create 1024 in
+    Array.iter
+      (fun m ->
+        Buffer.add_string buf (Core.Machine.fingerprint m);
+        Buffer.add_char buf '\n')
+      sim.machines;
+    Buffer.contents buf
+end
+
 (* One synchronous round in isolation: who can still advance past phase
    1? No phase-2 traffic exists inside a single round, so the adoption
    rule cannot rescue a blocked victim — the probe measures exactly the

@@ -51,6 +51,58 @@ val run :
 (** Runs [rounds] synchronous rounds with exactly [omissions] suppressed
     transmissions per round (fewer when not that many exist). *)
 
+(** Externally-driven synchronous rounds: the adversary's choices —
+    per-receiver omissions and per-round Byzantine strategies — are
+    supplied explicitly instead of drawn from a built-in pattern. This
+    is the model checker's execution hook and the replay engine for
+    serialized round schedules. *)
+module Driven : sig
+  type sim
+
+  val create :
+    n:int ->
+    k:int ->
+    ?byzantine:int list ->
+    ?dist:Runner.dist ->
+    horizon:int ->
+    seed:int64 ->
+    unit ->
+    sim
+  (** A fresh group at phase 1. [horizon] bounds how many rounds the sim
+      will be stepped (it sizes the one-time-key horizon). Key material
+      comes from the deterministic per-(n, phases) cache regardless of
+      the memoization switch — checker results are key-independent. *)
+
+  val clone : sim -> sim
+  (** Independent deep copy; stepping one never affects the other. *)
+
+  val step : sim -> drops:(int * int) list -> byz:(int * Core.Strategy.t) list -> unit
+  (** One synchronous round: every process broadcasts (Byzantine ones
+      follow their entry in [byz], defaulting to silence — a crash),
+      then every (sender, receiver) delivery not in [drops] happens. *)
+
+  val round : sim -> int
+  val correct : sim -> int list
+
+  val decisions : sim -> (int * int) list
+  (** (id, decided value) for the correct deciders. *)
+
+  val deciders : sim -> int
+
+  val advanced : sim -> int
+  (** Correct processes past phase 1. *)
+
+  val violations : sim -> string list
+  (** Agreement/validity/integrity breaches in the current state (the
+      chaos harness's safety clauses over the abstract sim). *)
+
+  val fingerprint : sim -> string
+  (** Canonical serialization of the whole group state (concatenated
+      {!Core.Machine.fingerprint}s). Equal fingerprints between sims of
+      identical configuration imply identical future behavior under
+      identical adversary choices. *)
+end
+
 val single_round :
   n:int ->
   k:int ->

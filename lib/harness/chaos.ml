@@ -107,15 +107,25 @@ let violations_of ~dist ~deadline (r : Runner.result) =
   | Some _ | None -> ());
   List.rev !out
 
-let execute ~protocol ~n ~bug plan schedule =
+(* Re-execute one schedule and report its invariant breaches — the
+   chaos harness's own check, exported so serialized reproducers replay
+   through the exact code path that found them. The fault load is
+   implied by [strategy] (the same rule [make_plan] uses). *)
+let check_schedule ~protocol ~n ?(bug = No_bug) ~dist ?strategy ~schedule ~seed () =
   let deadline = liveness_horizon schedule in
   let timeout = match deadline with Some h -> h +. 30.0 | None -> 10.0 in
-  let r =
-    Runner.run ~protocol ~n ~dist:plan.p_dist ~load:plan.p_load
-      ~conditions:clean_conditions ?strategy:plan.p_strategy ~schedule ~timeout
-      ~seed:plan.p_seed ()
+  let load =
+    match strategy with Some _ -> Net.Fault.Byzantine | None -> Net.Fault.Failure_free
   in
-  violations_of ~dist:plan.p_dist ~deadline (apply_bug bug r)
+  let r =
+    Runner.run ~protocol ~n ~dist ~load ~conditions:clean_conditions ?strategy ~schedule
+      ~timeout ~seed ()
+  in
+  violations_of ~dist ~deadline (apply_bug bug r)
+
+let execute ~protocol ~n ~bug plan schedule =
+  check_schedule ~protocol ~n ~bug ~dist:plan.p_dist ?strategy:plan.p_strategy ~schedule
+    ~seed:plan.p_seed ()
 
 (* Delta-debug the schedule to a local minimum that still violates. *)
 let shrink ~protocol ~n ~bug plan =

@@ -42,6 +42,23 @@ type report = {
   failures : failure list;
 }
 
+val check_schedule :
+  protocol:Runner.protocol ->
+  n:int ->
+  ?bug:bug ->
+  dist:Runner.dist ->
+  ?strategy:Core.Strategy.t ->
+  schedule:Net.Schedule.t ->
+  seed:int64 ->
+  unit ->
+  string list
+(** Re-execute one schedule through the harness's own invariant check
+    and return the violations (empty = passes). This is the replay path
+    for serialized chaos reproducers: a saved failing schedule must
+    report the same violations here that it did when found. The fault
+    load is implied by [strategy]; [bug] re-plants the deliberate
+    harness self-test defect so its reproducers replay faithfully. *)
+
 val run_chaos :
   ?n:int ->
   ?bug:bug ->

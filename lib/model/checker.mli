@@ -1,0 +1,103 @@
+(** Bounded exhaustive model checker for the abstract round model.
+
+    Explores {e every} adversary schedule of a small group up to a round
+    horizon: per round, all per-receiver omission patterns within the
+    budget crossed with all per-Byzantine strategy choices from a
+    deterministic alphabet (per-round [silent] choices subsume every
+    crash point). The walk is a breadth-first frontier expansion with
+    canonical-state deduplication:
+
+    - states are fingerprinted ({!Harness.Abstract_rounds.Driven.fingerprint},
+      digested with SHA-256) and duplicates within a level are pruned.
+      Dedup is deliberately {e per level}, not global: a state reached
+      at two depths has a different number of remaining rounds at each,
+      and stalled self-loop states — the worst-case liveness witnesses —
+      must re-appear at the horizon to be counted. Per-level dedup keeps
+      the safety sweep complete and the horizon frontier exact;
+    - expansion parallelizes over {!Harness.Pool} in fixed-size chunks;
+      violation selection, deduplication and worst-state tracking run
+      sequentially in slot order, so the result is bit-identical for
+      every [jobs];
+    - past [max_states] entries the level's dedup table stops growing:
+      later duplicates in that level may re-expand (lossy — work and
+      frontier may repeat, memory does not, results stay exact), counted
+      in [pruned] and the [model.pruned] metric, with a one-time
+      warning.
+
+    The checker either proves the configured invariants over every
+    reachable state at the horizon, or stops at the first violating
+    state (in deterministic BFS order) with its full schedule. Either
+    way it emits a replayable {!Codec.rounds_artifact}: the violation,
+    or the worst-case liveness schedule — the lexicographically minimal
+    (deciders, advanced) horizon state. *)
+
+type config = {
+  n : int;
+  k : int;
+  byzantine : int list;
+  dist : Harness.Runner.dist;
+  budget : int;  (** per-round omission budget among correct pairs *)
+  exact_budget : bool;
+      (** enumerate only patterns of exactly [budget] drops — sound for
+          stall-witness search (a smaller stalling pattern would
+          contradict the budget−1 guarantee) and much cheaper *)
+  alphabet : Core.Strategy.t list;
+      (** per-round Byzantine choices; must be deterministic
+          ({!Core.Strategy.is_deterministic}) for the memoization to be
+          sound *)
+  rounds : int;  (** horizon *)
+  seed : int64;
+  jobs : int;
+  max_states : int;  (** per-level dedup-table cap; lossy pruning beyond *)
+}
+
+val config :
+  n:int ->
+  ?k:int ->
+  ?byzantine:int list ->
+  ?dist:Harness.Runner.dist ->
+  ?budget:int ->
+  ?exact_budget:bool ->
+  ?alphabet:Core.Strategy.t list ->
+  ?rounds:int ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?max_states:int ->
+  unit ->
+  config
+(** Defaults mirror the protocol's: [k = n − ⌊(n−1)/3⌋], [byzantine] the
+    top ⌊(n−1)/3⌋ ids, [budget = σ(n, k, t)], [exact_budget = false],
+    [alphabet = Core.Strategy.enumerable], [rounds = 2], [jobs]
+    {!Harness.Pool.default_jobs}, [max_states] 2,000,000.
+    @raise Invalid_argument on a non-deterministic alphabet strategy or
+    a Byzantine id out of range. *)
+
+type stats = {
+  states : int;  (** states kept across all levels (including the root) *)
+  transitions : int;  (** child expansions computed *)
+  dedup_hits : int;  (** children pruned as within-level duplicates *)
+  frontier_peak : int;
+  pruned : int;  (** states kept without a dedup entry (past the cap) *)
+  choices_per_round : int;  (** branching factor before dedup *)
+}
+
+type outcome =
+  | Safe of {
+      worst : Codec.rounds_artifact;
+          (** lexicographically minimal (deciders, advanced) horizon
+              state, ties broken by BFS order; its [r_expect] is the
+              {!Codec.Stall} it must replay to *)
+      min_deciders : int;  (** over all horizon states *)
+      min_advanced : int;
+          (** over all horizon states; [>= k] here at budget σ−1 is the
+              exhaustive side of the liveness bound *)
+    }
+  | Violation of Codec.rounds_artifact
+      (** first violating state in BFS order; [r_expect] holds its
+          violations *)
+
+type result = { outcome : outcome; stats : stats }
+
+val check : ?log:(string -> unit) -> config -> result
+(** Runs the walk. [log] receives per-level progress lines. The result
+    is a pure function of [config] — identical for every [jobs]. *)

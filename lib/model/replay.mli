@@ -1,0 +1,17 @@
+(** Replay engine for serialized reproducers.
+
+    Re-executes a {!Codec.artifact} through the engine it was extracted
+    from — {!Harness.Abstract_rounds.Driven} for round schedules,
+    {!Harness.Chaos.check_schedule} for radio fault timelines — and
+    compares the outcome against the artifact's recorded expectation.
+    Replays are fully deterministic: a reproducer that fails to verify
+    means the codebase's behavior changed since it was extracted, which
+    is exactly what makes saved artifacts regression tests. *)
+
+type verdict = {
+  ok : bool;  (** the replay reproduced the recorded expectation *)
+  violations : string list;  (** invariant breaches observed in the replay *)
+  detail : string;  (** one-line human-readable comparison *)
+}
+
+val run : Codec.artifact -> verdict

@@ -12,9 +12,22 @@ let at_run_start f =
   in
   add ()
 
+(* The registry is reset on exit as well as entry: the run's counters
+   live on in the returned snapshot, and leaving them in the executing
+   domain's registry leaked the final pool task's metrics into the
+   caller whenever the calling domain happened to execute it — a
+   scheduling-dependent flake. The trace buffer is deliberately NOT
+   cleared on exit: [run --trace-json] exports it after the run
+   returns. *)
 let with_run f =
   Metrics.reset ();
   Trace2.clear ();
   List.iter (fun hook -> hook ()) (Atomic.get hooks);
-  let result = f () in
-  (result, Metrics.snapshot ())
+  match f () with
+  | result ->
+      let snap = Metrics.snapshot () in
+      Metrics.reset ();
+      (result, snap)
+  | exception e ->
+      Metrics.reset ();
+      raise e

@@ -3,7 +3,10 @@
     [with_run f] resets the metrics registry and clears the trace
     buffer (the enabled/limit state is untouched), runs [f], and
     returns its result together with the metrics snapshot of exactly
-    that run. This is the discipline that keeps repetitions
+    that run. The registry is reset again on exit — success or raise —
+    so no run leaves counters behind on the executing domain (the trace
+    buffer survives until the next run: callers export it after the run
+    returns). This is the discipline that keeps repetitions
     independent: without it, a 50-rep [--trace] session would mix
     events and counters from every earlier repetition. *)
 

@@ -23,4 +23,5 @@ let () =
       Test_pool.suite;
       Test_chaos.suite;
       Test_hotpath.suite;
+      Test_model.suite;
     ]
