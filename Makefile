@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke workload-smoke chaos clean
 
 all: build
 
@@ -58,10 +58,24 @@ modelcheck-smoke:
 	  || { echo "modelcheck smoke failed: worst-case schedule did not replay"; exit 1; }
 	rm -f /tmp/turquois_mc_smoke.json /tmp/turquois_mc_j1.txt /tmp/turquois_mc_j2.txt
 
+# workload smoke: a small consensus-service sweep must be bit-identical
+# at -j 1 and -j 2 (open-loop arrivals, batching and straggler catch-up
+# all run through the deterministic engine, so any divergence is a
+# determinism bug in the new code paths)
+workload-smoke:
+	dune exec bin/turquois_lab.exe -- workload --load 20,60 -r 2 -j 1 \
+	  > /tmp/turquois_wl_j1.txt
+	dune exec bin/turquois_lab.exe -- workload --load 20,60 -r 2 -j 2 \
+	  > /tmp/turquois_wl_j2.txt
+	cmp /tmp/turquois_wl_j1.txt /tmp/turquois_wl_j2.txt \
+	  || { echo "workload smoke failed: -j 1 and -j 2 sweeps diverged"; exit 1; }
+	rm -f /tmp/turquois_wl_j1.txt /tmp/turquois_wl_j2.txt
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
 # the chaos smoke sweep, the parallel-pool smoke, the memo smoke, the
-# causal-trace smoke, the model-checker smoke and the perf regression gate
-check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke bench-compare
+# causal-trace smoke, the model-checker smoke, the workload smoke and
+# the perf regression gate
+check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke workload-smoke bench-compare
 
 bench:
 	dune exec bench/main.exe -- --quick

@@ -23,6 +23,7 @@ let tables = ref true
 let sigma = ref true
 let adversary = ref true
 let phases = ref true
+let workload = ref true
 let micro = ref true
 let seed = ref 1000L
 let json_out = ref None
@@ -36,7 +37,7 @@ let threshold = ref 0.5
 (* version of the JSON layouts this binary writes (summary and
    regression-gate baseline); --compare rejects a baseline written by a
    different generation instead of mis-reading it *)
-let bench_schema_version = 1
+let bench_schema_version = 2
 
 let speclist =
   [
@@ -58,6 +59,7 @@ let speclist =
           sigma := false;
           adversary := false;
           phases := false;
+          workload := false;
           micro := false),
       " only regenerate Tables 1-3" );
     ( "--micro-only",
@@ -66,7 +68,8 @@ let speclist =
           tables := false;
           sigma := false;
           adversary := false;
-          phases := false),
+          phases := false;
+          workload := false),
       " only the Bechamel micro-benchmarks" );
     ( "--adversary-only",
       Arg.Unit
@@ -74,8 +77,18 @@ let speclist =
           tables := false;
           sigma := false;
           phases := false;
+          workload := false;
           micro := false),
       " only the sigma-edge vs static-loss comparison" );
+    ( "--workload-only",
+      Arg.Unit
+        (fun () ->
+          tables := false;
+          sigma := false;
+          adversary := false;
+          phases := false;
+          micro := false),
+      " only the consensus-service workload sweep" );
     ( "--json",
       Arg.String (fun f -> json_out := Some f),
       "FILE write a machine-readable summary (table cells + per-load metrics) to FILE" );
@@ -296,6 +309,56 @@ let adversary_to_json p =
       ("slowdown", Obs.Json.Float slowdown);
     ]
 
+(* --- section 1c: consensus-service workload --------------------------------- *)
+
+let workload_loads = [ 10.0; 30.0; 120.0 ]
+
+let workload_base () =
+  {
+    (Harness.Workload.default ~n:4) with
+    (* a longer run than the default config: 60 commands at the lowest
+       load span only ~3 s, so the fixed decide-and-deliver tail lag
+       dominates the sustained-throughput ratio and hides the knee *)
+    Harness.Workload.capacity = 72;
+    commands = 120;
+    seed = Util.Rng.derive ~base:!seed [ 71 ];
+  }
+
+let run_workload () =
+  banner
+    "Consensus-service workload: offered load vs sustained decisions and latency";
+  let reps = max 2 (min !reps 4) in
+  let points =
+    Harness.Workload.sweep ~jobs:!jobs ~base:(workload_base ()) ~loads:workload_loads
+      ~reps ()
+  in
+  print_string (Harness.Workload.render_points points);
+  print_newline ();
+  points
+
+let workload_point_to_json (p : Harness.Workload.point) =
+  Obs.Json.Obj
+    [
+      ("offered_load_cmd_s", Obs.Json.Float p.Harness.Workload.load_point);
+      ("throughput_cmd_s", Obs.Json.Float p.Harness.Workload.mean_throughput);
+      ("decisions_per_s", Obs.Json.Float p.Harness.Workload.mean_decisions_per_sec);
+      ("latency_p50_s", Obs.Json.Float p.Harness.Workload.mean_p50);
+      ("latency_p99_s", Obs.Json.Float p.Harness.Workload.mean_p99);
+      ("delivered_commands", Obs.Json.Float p.Harness.Workload.mean_delivered);
+      ("reps", Obs.Json.Int p.Harness.Workload.reps);
+    ]
+
+let workload_to_json points =
+  Obs.Json.Obj
+    [
+      ("loads", Obs.Json.List (List.map (fun l -> Obs.Json.Float l) workload_loads));
+      ("points", Obs.Json.List (List.map workload_point_to_json points));
+      ( "saturation_knee_cmd_s",
+        match Harness.Workload.knee points with
+        | Some k -> Obs.Json.Float k
+        | None -> Obs.Json.Null );
+    ]
+
 (* --- machine-readable summary ---------------------------------------------- *)
 
 let cell_to_json (cr : Harness.Experiment.cell_result) =
@@ -325,7 +388,7 @@ let metrics_json () =
          (Net.Fault.load_to_string load, Obs.Metrics.to_json r.metrics))
        [ Net.Fault.Failure_free; Net.Fault.Fail_stop; Net.Fault.Byzantine ])
 
-let write_json file table_results adversary_results =
+let write_json file table_results adversary_results workload_results =
   let doc =
     Obs.Json.Obj
       [
@@ -346,6 +409,7 @@ let write_json file table_results adversary_results =
                table_results) );
         ( "adversary",
           Obs.Json.List (List.map adversary_to_json adversary_results) );
+        ("workload", workload_to_json workload_results);
         ("metrics", metrics_json ());
       ]
   in
@@ -606,6 +670,11 @@ let gate_grid () =
       let chaos_s =
         time (fun () -> Harness.Chaos.run_chaos ~n:4 ~runs:20 ~jobs:1 ~seed:!seed ())
       in
+      let wl = ref None in
+      let workload_s =
+        time (fun () -> wl := Some (Harness.Workload.run (workload_base ())))
+      in
+      let wl = Option.get !wl in
       let rep =
         Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n:7
           ~dist:Harness.Runner.Divergent ~load:Net.Fault.Failure_free ~seed:!seed ()
@@ -622,7 +691,12 @@ let gate_grid () =
           0.0 rep.Harness.Runner.metrics
       in
       let wall =
-        [ ("sigma_sweep_s", sweep_s); ("table_cell_s", cell_s); ("chaos_s", chaos_s) ]
+        [
+          ("sigma_sweep_s", sweep_s);
+          ("table_cell_s", cell_s);
+          ("chaos_s", chaos_s);
+          ("workload_s", workload_s);
+        ]
       in
       let deterministic =
         [
@@ -630,6 +704,13 @@ let gate_grid () =
           ("bytes_sent", float_of_int rep.Harness.Runner.bytes_sent);
           ("airtime_s", airtime);
           ("sim_duration_s", rep.Harness.Runner.duration);
+          ( "workload_delivered",
+            float_of_int wl.Harness.Workload.delivered_commands );
+          ( "workload_slots",
+            float_of_int
+              (wl.Harness.Workload.committed_slots
+             + wl.Harness.Workload.skipped_slots) );
+          ("workload_sim_s", wl.Harness.Workload.duration);
         ]
       in
       (wall, deterministic))
@@ -837,8 +918,9 @@ let () =
   let adversary_results = if !adversary then run_adversary () else [] in
   if !phases then run_phases ();
   if !phases then run_ablations ();
+  let workload_results = if !workload then run_workload () else [] in
   if !micro then run_micro ();
   (match !json_out with
   | None -> ()
-  | Some file -> write_json file table_results adversary_results);
+  | Some file -> write_json file table_results adversary_results workload_results);
   print_endline "benchmark complete."

@@ -536,6 +536,12 @@ let run_memocheck seed quiet =
     both (fun () -> Harness.Chaos.run_chaos ~n:4 ~runs:6 ~jobs:1 ~seed ())
   in
   check "chaos plan" (chaos_off = chaos_on);
+  let wl_off, wl_on =
+    both (fun () ->
+        Harness.Workload.run
+          { (Harness.Workload.default ~n:4) with Harness.Workload.seed })
+  in
+  check "consensus-service workload" (wl_off = wl_on);
   if !diverged = [] then begin
     Printf.printf "memocheck: results identical with memoization off and on\n";
     0
@@ -553,6 +559,119 @@ let memocheck_cmd =
          "Verify the hot-path contract: every result is bit-identical with \
           memoization off and on")
     Term.(const run_memocheck $ seed_arg $ quiet_arg)
+
+(* --- workload ---------------------------------------------------------------- *)
+
+let arrival_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "poisson" -> Ok Harness.Workload.Poisson
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "burst" -> (
+            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+            | Some b when b > 0 -> Ok (Harness.Workload.Bursty b)
+            | _ -> Error (`Msg "burst size must be a positive integer"))
+        | _ -> Error (`Msg (Printf.sprintf "unknown arrival %S (poisson or burst:N)" s)))
+  in
+  let print fmt = function
+    | Harness.Workload.Poisson -> Format.pp_print_string fmt "poisson"
+    | Harness.Workload.Bursty b -> Format.fprintf fmt "burst:%d" b
+  in
+  Arg.conv (parse, print)
+
+let run_workload n capacity window max_batch loads arrival commands cmd_bytes loss reps seed
+    timeout jobs no_memo =
+  apply_memo no_memo;
+  match
+    let base =
+    {
+      (Harness.Workload.default ~n) with
+      capacity;
+      window;
+      max_batch;
+      arrival;
+      commands;
+      cmd_bytes;
+      loss;
+      timeout;
+      seed;
+    }
+  in
+  (match loads with
+  | [ load ] when reps = 1 ->
+      (* Single point, single rep: the verbose per-run view. *)
+      let r = Harness.Workload.run { base with load } in
+      Printf.printf
+        "workload n=%d capacity=%d window=%d batch<=%d %s load=%.1f cmd/s (seed %Ld)\n" n
+        capacity window max_batch
+        (match arrival with
+        | Harness.Workload.Poisson -> "poisson"
+        | Harness.Workload.Bursty b -> Printf.sprintf "burst:%d" b)
+        load seed;
+      Printf.printf "  delivered %d/%d commands over %.2f s simulated\n" r.delivered_commands
+        r.commands r.duration;
+      Printf.printf "  slots: %d committed, %d skipped (no-ops)\n" r.committed_slots
+        r.skipped_slots;
+      Printf.printf "  throughput %.1f cmd/s   decisions %.1f slots/s\n" r.throughput
+        r.decisions_per_sec;
+      Printf.printf "  latency p50 %.1f ms   p99 %.1f ms\n" (r.latency_p50 *. 1000.0)
+        (r.latency_p99 *. 1000.0)
+  | _ ->
+      let points = Harness.Workload.sweep ~jobs ~base ~loads ~reps () in
+      print_string (Harness.Workload.render_points points))
+  with
+  | () -> 0
+  | exception Invalid_argument msg ->
+      Printf.eprintf "turquois-lab: %s\n" msg;
+      2
+
+let workload_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
+  let capacity_arg =
+    Arg.(value & opt int 24 & info [ "capacity" ] ~docv:"SLOTS" ~doc:"Total log slots.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Pipeline depth. On the contention-modeled medium, wider windows \
+             trade airtime congestion for little throughput; 1-2 is usually \
+             best.")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~docv:"B" ~doc:"Commands per slot.")
+  in
+  let loads_arg =
+    Arg.(value & opt (list float) [ 50.0 ]
+         & info [ "load" ] ~docv:"CMD/S,..."
+             ~doc:"Offered load point(s). One load with one rep prints a verbose \
+                   single-run view; otherwise a sweep table with the saturation knee.")
+  in
+  let arrival_arg =
+    Arg.(value & opt arrival_conv Harness.Workload.Poisson
+         & info [ "arrival" ] ~docv:"KIND" ~doc:"poisson or burst:N.")
+  in
+  let commands_arg =
+    Arg.(value & opt int 60 & info [ "commands" ] ~docv:"C" ~doc:"Commands injected per run.")
+  in
+  let cmd_bytes_arg =
+    Arg.(value & opt int 16 & info [ "cmd-bytes" ] ~docv:"BYTES" ~doc:"Filler bytes per command.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.01
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-receiver omission probability.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Drive the pipelined consensus service with an open-loop client workload and \
+          report sustained decisions, throughput versus offered load and command latency")
+    Term.(
+      const run_workload $ n_arg $ capacity_arg $ window_arg $ max_batch_arg $ loads_arg
+      $ arrival_arg $ commands_arg $ cmd_bytes_arg $ loss_arg $ reps_arg 3 $ seed_arg
+      $ timeout_arg $ jobs_arg $ no_memo_arg)
 
 (* --- modelcheck -------------------------------------------------------------- *)
 
@@ -763,6 +882,7 @@ let main_cmd =
       phases_cmd;
       messages_cmd;
       run_cmd;
+      workload_cmd;
       chaos_cmd;
       memocheck_cmd;
       modelcheck_cmd;

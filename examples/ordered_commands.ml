@@ -27,12 +27,19 @@ let () =
         Core.Ordered_log.create node cfg ~keyring:keyrings.(i) ~capacity ())
   in
 
-  (* node 0 watches its log; all nodes will have the identical one *)
+  (* node 0 watches its log; all nodes will have the identical one. A
+     delivered payload is a length-prefixed batch of commands, possibly
+     several when submissions queued up behind one proposer slot. *)
+  let render_batch batch =
+    match Core.Ordered_log.decode_batch batch with
+    | [] -> "(empty batch)"
+    | commands -> String.concat " + " (List.map Bytes.to_string commands)
+  in
   Core.Ordered_log.on_deliver logs.(0) (fun ~slot ~payload ->
       Printf.printf "t = %7.2f ms  slot %d: %s\n"
         (Net.Engine.now engine *. 1000.0)
         slot
-        (match payload with Some p -> Bytes.to_string p | None -> "(no command)"));
+        (match payload with Some p -> render_batch p | None -> "(no command)"));
 
   Core.Ordered_log.submit logs.(0) (Bytes.of_string "deploy team A to north ridge");
   Core.Ordered_log.submit logs.(2) (Bytes.of_string "close sector 3");
@@ -50,7 +57,7 @@ let () =
   let render log =
     String.concat "|"
       (List.map
-         (fun (_, p) -> match p with Some b -> Bytes.to_string b | None -> "-")
+         (fun (_, p) -> match p with Some b -> render_batch b | None -> "-")
          (Core.Ordered_log.delivered log))
   in
   let reference = render logs.(0) in

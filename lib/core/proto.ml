@@ -45,6 +45,8 @@ let validate_config c =
 
 let quorum_exceeded c count = 2 * count > c.n + c.f
 let half_quorum_exceeded c count = 4 * count > c.n + c.f
+let past_faulty c count = count > c.f
+let past_double_faulty c count = count > 2 * c.f
 
 let sigma c ~t =
   if t < 0 || t > c.f then invalid_arg "Proto.sigma: need 0 <= t <= f";

@@ -58,6 +58,15 @@ val quorum_exceeded : config -> int -> bool
 val half_quorum_exceeded : config -> int -> bool
 (** [half_quorum_exceeded c count] ⟺ count > ((n+f)/2)/2. *)
 
+val past_faulty : config -> int -> bool
+(** [past_faulty c count] ⟺ count > f: among [count] distinct senders
+    at least one is correct (an f+1 witness set). *)
+
+val past_double_faulty : config -> int -> bool
+(** [past_double_faulty c count] ⟺ count > 2f: a certificate — with
+    n > 3f any two such sender sets intersect in a correct process, so
+    at most one value can ever collect this many distinct senders. *)
+
 val sigma : config -> t:int -> int
 (** The paper's liveness bound: the protocol makes progress in rounds
     whose omission-fault count is at most

@@ -1,4 +1,6 @@
-type slot = { mutable instance : Turquois.t option }
+type slot_state = Idle | Running of Turquois.t | Retired of int option
+
+type slot = { mutable state : slot_state }
 
 type t = {
   node : Net.Node.t;
@@ -27,7 +29,7 @@ let create node cfg ~keyring ~instances ?(base_port = 9000)
     base_port;
     tick_policy;
     linger_ticks;
-    slots = Array.init instances (fun _ -> { instance = None });
+    slots = Array.init instances (fun _ -> { state = Idle });
     decide_cb = None;
     decided = 0;
   }
@@ -41,8 +43,10 @@ let check_range t instance =
 let propose t ~instance proposal =
   check_range t instance;
   let slot = t.slots.(instance) in
-  if slot.instance <> None then
-    invalid_arg (Printf.sprintf "Service: instance %d already proposed" instance);
+  (match slot.state with
+  | Idle -> ()
+  | Running _ | Retired _ ->
+      invalid_arg (Printf.sprintf "Service: instance %d already proposed" instance));
   let keyring =
     Keyring.slice t.keyring ~offset:(instance * t.cfg.max_phases) ~phases:t.cfg.max_phases
   in
@@ -53,14 +57,29 @@ let propose t ~instance proposal =
   Turquois.on_decide consensus (fun ~value ~phase:_ ->
       t.decided <- t.decided + 1;
       match t.decide_cb with Some f -> f ~instance ~value | None -> ());
-  slot.instance <- Some consensus;
+  slot.state <- Running consensus;
   Turquois.start consensus
 
 let decision t ~instance =
   check_range t instance;
-  match t.slots.(instance).instance with
-  | Some consensus -> Turquois.decision consensus
-  | None -> None
+  match t.slots.(instance).state with
+  | Running consensus -> Turquois.decision consensus
+  | Retired decision -> decision
+  | Idle -> None
+
+let retire t ~instance =
+  check_range t instance;
+  match t.slots.(instance).state with
+  | Running consensus ->
+      (* the decision survives; the instance's port listener and tick do
+         not, so a dead slot stops costing CPU-queue work and airtime.
+         An undecided instance would otherwise rebroadcast forever into
+         peers that have already moved on — catch-up past this point is
+         the owner's job (the ordered log transfers outcomes). *)
+      t.slots.(instance).state <- Retired (Turquois.decision consensus);
+      Net.Node.unlisten t.node ~port:(t.base_port + instance);
+      Turquois.stop consensus
+  | Idle | Retired _ -> ()
 
 let decided_count t = t.decided
 let on_decide t f = t.decide_cb <- Some f

@@ -39,5 +39,13 @@ val propose : t -> instance:int -> int -> unit
 val decision : t -> instance:int -> int option
 val decided_count : t -> int
 
+val retire : t -> instance:int -> unit
+(** Releases a finished instance: its decision (if any) is preserved
+    for {!decision}, its per-instance port listener is removed, and the
+    consensus state machine becomes collectable once its linger timer
+    expires. Intended for instances that have decided — retiring an
+    undecided instance freezes it at [None] forever. No-op on idle or
+    already-retired instances. *)
+
 val on_decide : t -> (instance:int -> value:int -> unit) -> unit
 (** Fired once per instance, on its decision. *)

@@ -254,3 +254,10 @@ let start t =
     broadcast_state t ~justify:false;
     arm_tick t
   end
+
+let stop t =
+  match t.tick_handle with
+  | Some h ->
+      Net.Node.cancel_timer t.node h;
+      t.tick_handle <- None
+  | None -> ()

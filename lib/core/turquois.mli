@@ -81,6 +81,12 @@ val create :
 val start : t -> unit
 (** Broadcasts the initial state and starts the tick timer. *)
 
+val stop : t -> unit
+(** Cancels the broadcast tick. The instance stops transmitting (and,
+    if undecided, stops trying to decide); reception is unaffected
+    until the owner unlistens the port. Used when a multi-instance
+    service retires an instance whose outcome is already known. *)
+
 val on_decide : t -> (value:int -> phase:int -> unit) -> unit
 (** Called exactly once, when the decision variable is first set. *)
 

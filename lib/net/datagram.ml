@@ -49,4 +49,5 @@ let send t ~dst ~port payload =
         (Engine.schedule t.engine ~delay (fun () -> dispatch t ~src:self ~port payload))
 
 let listen t ~port handler = Hashtbl.replace t.handlers port handler
+let unlisten t ~port = Hashtbl.remove t.handlers port
 let mac t = t.mac_layer

@@ -24,4 +24,8 @@ val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit
 (** At most one listener per port; a second [listen] replaces the
     first. *)
 
+val unlisten : t -> port:int -> unit
+(** Removes the port's listener; later datagrams to it are dropped.
+    No-op when the port has no listener. *)
+
 val mac : t -> Mac.t

@@ -29,6 +29,8 @@ let listen t ~port handler =
           Cpu.charge t.node_cpu Cost.per_message_overhead;
           handler ~src payload))
 
+let unlisten t ~port = Datagram.unlisten t.node_dg ~port
+
 let set_timer t ~delay callback =
   Engine.schedule t.engine ~delay (fun () -> Cpu.enqueue t.node_cpu callback)
 

@@ -29,6 +29,11 @@ val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit
 (** Datagram listener; runs on the CPU queue with the per-message
     kernel overhead already charged. *)
 
+val unlisten : t -> port:int -> unit
+(** Removes the port's datagram listener (e.g. when a finished
+    protocol instance is retired); later datagrams to the port are
+    dropped before they reach the CPU queue. *)
+
 val set_timer : t -> delay:float -> (unit -> unit) -> Engine.handle
 (** One-shot timer; the callback runs on the CPU queue. *)
 

@@ -144,6 +144,51 @@ let medium_breakdown events =
       ^ "\n");
   (Buffer.contents buf, !omission_total)
 
+(* --- ordered-log summary ---------------------------------------------------- *)
+
+(* Traces from a consensus-service run additionally carry "log"-layer
+   events (commit/skip/deliver/noop/forged, one per slot per node);
+   summarise slot outcomes and per-node delivery progress so a straggler
+   or an injection attempt is visible at a glance. *)
+let log_section events =
+  let logs = List.filter (fun e -> e.Trace2.layer = "log") events in
+  if logs = [] then ""
+  else begin
+    let count label =
+      List.length (List.filter (fun e -> e.Trace2.label = label) logs)
+    in
+    let per_node label =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          if e.Trace2.label = label then
+            Hashtbl.replace tbl e.Trace2.node
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.Trace2.node)))
+        logs;
+      Hashtbl.fold (fun node c l -> (node, c) :: l) tbl [] |> List.sort compare
+    in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "Ordered log (from log-layer trace events)\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  slot outcomes across nodes: %d committed, %d skipped, %d proposer no-ops\n"
+         (count "commit") (count "skip") (count "noop"));
+    let delivered = per_node "deliver" in
+    if delivered <> [] then
+      Buffer.add_string buf
+        ("  deliveries by node: "
+        ^ String.concat " "
+            (List.map (fun (node, c) -> Printf.sprintf "p%d:%d" node c) delivered)
+        ^ "\n");
+    let forged = count "forged" in
+    if forged > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  REJECTED PAYLOAD INJECTIONS: %d unvouched non-proposer payload(s) ignored\n"
+           forged);
+    Buffer.contents buf
+  end
+
 (* --- per-phase timeline --------------------------------------------------- *)
 
 (* (phase/round number, node) -> first entry time, from the protocol
@@ -492,6 +537,11 @@ let analyze ?n ?k ?t events =
   let medium, _omissions = medium_breakdown events in
   Buffer.add_string buf medium;
   Buffer.add_char buf '\n';
+  (match log_section events with
+  | "" -> ()
+  | s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n');
   let entries, decides = phase_entries events in
   Buffer.add_string buf (timeline ~n entries decides);
   Buffer.add_char buf '\n';

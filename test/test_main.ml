@@ -24,4 +24,5 @@ let () =
       Test_chaos.suite;
       Test_hotpath.suite;
       Test_model.suite;
+      Test_workload.suite;
     ]

@@ -102,6 +102,27 @@ let test_service_rejects_short_keyring () =
     (Invalid_argument "Service.create: keyring does not cover all instances") (fun () ->
       ignore (Core.Service.create node cfg ~keyring:keyrings.(0) ~instances:2 ()))
 
+let test_service_retire_preserves_decision () =
+  let engine, services = make_services () in
+  Array.iter (fun s -> Core.Service.propose s ~instance:0 1) services;
+  Net.Engine.run_while engine (fun () ->
+      Net.Engine.now engine < 20.0
+      && Array.exists (fun s -> Core.Service.decided_count s < 1) services);
+  let decision = Core.Service.decision services.(0) ~instance:0 in
+  Alcotest.(check (option int)) "decided before retire" (Some 1) decision;
+  Core.Service.retire services.(0) ~instance:0;
+  Alcotest.(check (option int)) "decision survives retire" (Some 1)
+    (Core.Service.decision services.(0) ~instance:0);
+  (* idempotent, and legal on idle instances too *)
+  Core.Service.retire services.(0) ~instance:0;
+  Core.Service.retire services.(0) ~instance:1;
+  Alcotest.(check (option int)) "idle instance stays undecided" None
+    (Core.Service.decision services.(0) ~instance:1);
+  (* a retired instance can no longer be proposed *)
+  Alcotest.check_raises "retired rejects propose"
+    (Invalid_argument "Service: instance 0 already proposed") (fun () ->
+      Core.Service.propose services.(0) ~instance:0 1)
+
 let test_service_with_adaptive_ticks () =
   let engine, services =
     make_services ~seed:405L ~tick_policy:Core.Turquois.default_adaptive ()
@@ -182,6 +203,8 @@ let suite =
       Alcotest.test_case "sequential instances" `Quick test_service_sequential_instances;
       Alcotest.test_case "double propose" `Quick test_service_rejects_double_propose;
       Alcotest.test_case "short keyring" `Quick test_service_rejects_short_keyring;
+      Alcotest.test_case "retire preserves decision" `Quick
+        test_service_retire_preserves_decision;
       Alcotest.test_case "adaptive service" `Quick test_service_with_adaptive_ticks;
       Alcotest.test_case "adaptive terminates" `Slow test_adaptive_tick_terminates;
       Alcotest.test_case "adaptive params" `Quick test_adaptive_rejects_bad_params;
