@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke workload-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke workload-smoke scale-smoke chaos clean
 
 all: build
 
@@ -71,11 +71,23 @@ workload-smoke:
 	  || { echo "workload smoke failed: -j 1 and -j 2 sweeps diverged"; exit 1; }
 	rm -f /tmp/turquois_wl_j1.txt /tmp/turquois_wl_j2.txt
 
+# scale smoke: the n=64 sampled-consensus scaling point must be
+# bit-identical at -j 1 and -j 2 (the rendered table excludes the one
+# host-dependent field, so cmp is exact)
+scale-smoke:
+	dune exec bin/turquois_lab.exe -- scaling --sizes 64 --turquois-cap 0 -j 1 \
+	  > /tmp/turquois_scale_j1.txt
+	dune exec bin/turquois_lab.exe -- scaling --sizes 64 --turquois-cap 0 -j 2 \
+	  > /tmp/turquois_scale_j2.txt
+	cmp /tmp/turquois_scale_j1.txt /tmp/turquois_scale_j2.txt \
+	  || { echo "scale smoke failed: -j 1 and -j 2 sweeps diverged"; exit 1; }
+	rm -f /tmp/turquois_scale_j1.txt /tmp/turquois_scale_j2.txt
+
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
 # the chaos smoke sweep, the parallel-pool smoke, the memo smoke, the
-# causal-trace smoke, the model-checker smoke, the workload smoke and
-# the perf regression gate
-check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke workload-smoke bench-compare
+# causal-trace smoke, the model-checker smoke, the workload smoke, the
+# scaling smoke and the perf regression gate
+check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke workload-smoke scale-smoke bench-compare
 
 bench:
 	dune exec bench/main.exe -- --quick

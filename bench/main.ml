@@ -33,11 +33,17 @@ let hotpath_baseline = ref None
 let baseline_out = ref None
 let compare_against = ref None
 let threshold = ref 0.5
+let scaling_out = ref None
+let scaling_sizes = ref Harness.Scaling.default_ns
+let scaling_cap = ref 64
+let scaling_timeout = ref 30.0
 
-(* version of the JSON layouts this binary writes (summary and
-   regression-gate baseline); --compare rejects a baseline written by a
-   different generation instead of mis-reading it *)
-let bench_schema_version = 2
+(* version of the JSON layouts this binary writes (summary,
+   regression-gate baseline and scaling document); --compare rejects a
+   baseline written by a different generation instead of mis-reading
+   it. v3 added the scaling sweep document and the engine high-water
+   metrics. *)
+let bench_schema_version = 3
 
 let speclist =
   [
@@ -118,6 +124,19 @@ let speclist =
     ( "--threshold",
       Arg.Set_float threshold,
       "X allowed relative regression for --compare (default 0.5 = +50%)" );
+    ( "--scaling-out",
+      Arg.String (fun f -> scaling_out := Some f),
+      "FILE run the scaling sweep (Turquois vs sample-based consensus at \
+       16/64/256/1024), write the document to FILE, and run nothing else; \
+       --compare accepts the document as a baseline" );
+    ( "--scaling-sizes",
+      Arg.String
+        (fun s ->
+          scaling_sizes := List.map int_of_string (String.split_on_char ',' s)),
+      "N,N,... group sizes for --scaling-out (default 16,64,256,1024)" );
+    ( "--scaling-cap",
+      Arg.Set_int scaling_cap,
+      "N largest n Turquois runs at in the scaling sweep (default 64)" );
   ]
 
 let banner title =
@@ -738,10 +757,93 @@ let run_baseline_out file =
   close_out oc;
   Printf.printf "wrote %s\n" file
 
-let run_compare file =
+(* --- section 3d: scaling sweep --------------------------------------------- *)
+
+let run_scaling_out file =
+  banner "Scaling sweep: Turquois vs sample-based consensus past n=16";
+  let points =
+    Harness.Scaling.sweep ~jobs:!jobs ~ns:!scaling_sizes ~turquois_cap:!scaling_cap
+      ~timeout:!scaling_timeout ~seed:!seed ()
+  in
+  print_string (Harness.Scaling.render points);
+  let doc =
+    Harness.Scaling.to_json ~schema_version:bench_schema_version ~ns:!scaling_sizes
+      ~turquois_cap:!scaling_cap ~timeout:!scaling_timeout ~seed:!seed points
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* Re-run the sweep with the baseline's own parameters and diff every
+   point. All fields but [mem_words] are bit-deterministic for the
+   recorded seed: coverage and timeouts must match exactly, the
+   numeric fields fail on drift beyond --threshold in either direction
+   (an intentional protocol change is a deliberate rebaseline), and
+   [mem_words] — a per-domain allocation delta, exact up to a small
+   cache-warmup constant — only fails on growth. *)
+let run_compare_scaling file (base : Harness.Scaling.doc) =
   banner
-    (Printf.sprintf "Regression gate: re-run grid vs %s (threshold +%.0f%%)" file
+    (Printf.sprintf "Scaling gate: re-run sweep vs %s (threshold %.0f%%)" file
        (100.0 *. !threshold));
+  let points =
+    Harness.Scaling.sweep ~jobs:!jobs ~ns:base.ns ~turquois_cap:base.turquois_cap
+      ~timeout:base.timeout ~seed:base.seed ()
+  in
+  let failures = ref 0 in
+  let fail fmt = incr failures; Printf.printf fmt in
+  (match
+     List.combine base.points points
+   with
+  | pairs ->
+      List.iter
+        (fun ((b : Harness.Scaling.point), (p : Harness.Scaling.point)) ->
+          let tag = Printf.sprintf "%s n=%d" p.protocol p.n in
+          if b.protocol <> p.protocol || b.n <> p.n then
+            fail "  %s: grid mismatch vs baseline %s n=%d — FAIL\n" tag b.protocol
+              b.n
+          else begin
+            if p.decided <> b.decided || p.timed_out <> b.timed_out then
+              fail "  %s: coverage %d/%d t/o=%b vs baseline %d/%d t/o=%b — FAIL\n"
+                tag p.decided p.honest p.timed_out b.decided b.honest b.timed_out;
+            let drift name bv pv =
+              let rel =
+                if bv = 0.0 then if pv = 0.0 then 0.0 else infinity
+                else (pv -. bv) /. bv
+              in
+              if Float.abs rel > !threshold then
+                fail "  %s/%-12s %12.4f -> %12.4f  %+8.1f%% — FAIL\n" tag name bv
+                  pv (100.0 *. rel)
+            in
+            drift "mean_ms" (1e3 *. b.mean_latency) (1e3 *. p.mean_latency);
+            drift "msgs" (float_of_int b.msgs) (float_of_int p.msgs);
+            drift "bytes" (float_of_int b.bytes) (float_of_int p.bytes);
+            drift "airtime_s" b.airtime p.airtime;
+            drift "live_peak" (float_of_int b.live_peak) (float_of_int p.live_peak);
+            drift "arena_hw" (float_of_int b.arena_hw) (float_of_int p.arena_hw);
+            let mem_rel =
+              if b.mem_words = 0 then 0.0
+              else
+                float_of_int (p.mem_words - b.mem_words)
+                /. float_of_int b.mem_words
+            in
+            if mem_rel > !threshold then
+              fail "  %s/mem_words %d -> %d  %+.1f%% — FAIL\n" tag b.mem_words
+                p.mem_words (100.0 *. mem_rel)
+          end)
+        pairs
+  | exception Invalid_argument _ ->
+      fail "  point count %d vs baseline %d — FAIL\n" (List.length points)
+        (List.length base.points));
+  if !failures > 0 then begin
+    Printf.printf "scaling gate: %d mismatch(es) vs %s — FAIL\n" !failures file;
+    exit 1
+  end
+  else Printf.printf "scaling gate: all points within %.0f%% of %s\n"
+      (100.0 *. !threshold) file
+
+let rec run_compare file =
   let read_file f =
     let ic = open_in f in
     Fun.protect
@@ -753,6 +855,32 @@ let run_compare file =
     | Ok j -> j
     | Error e -> failwith (Printf.sprintf "%s: %s" file e)
   in
+  (* dispatch on the document's self-description: a scaling document
+     compares against a re-run of its own sweep, anything else is the
+     regression-gate grid *)
+  match Option.bind (Obs.Json.member "bench" base) Obs.Json.to_str with
+  | Some "scaling" -> begin
+      (match
+         Option.bind (Obs.Json.member "bench_schema_version" base) Obs.Json.to_int
+       with
+      | Some v when v = bench_schema_version -> ()
+      | Some v ->
+          failwith
+            (Printf.sprintf
+               "%s: scaling schema version %d; this build writes version %d — \
+                regenerate it with --scaling-out"
+               file v bench_schema_version)
+      | None -> failwith (Printf.sprintf "%s: no bench_schema_version" file));
+      match Harness.Scaling.of_json base with
+      | Ok doc -> run_compare_scaling file doc
+      | Error e -> failwith (Printf.sprintf "%s: %s" file e)
+    end
+  | Some _ | None -> run_compare_gate file base
+
+and run_compare_gate file base =
+  banner
+    (Printf.sprintf "Regression gate: re-run grid vs %s (threshold +%.0f%%)" file
+       (100.0 *. !threshold));
   (match Option.bind (Obs.Json.member "schema_version" base) Obs.Json.to_int with
   | Some v when v = bench_schema_version -> ()
   | Some v ->
@@ -899,20 +1027,25 @@ let () =
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "bench/main.exe [options]";
-  match (!pool_baseline, !hotpath_baseline, !baseline_out, !compare_against) with
-  | Some file, _, _, _ ->
+  match
+    (!pool_baseline, !hotpath_baseline, !baseline_out, !compare_against, !scaling_out)
+  with
+  | Some file, _, _, _, _ ->
       run_pool_baseline file;
       print_endline "benchmark complete."
-  | None, Some file, _, _ ->
+  | None, Some file, _, _, _ ->
       run_hotpath_baseline file;
       print_endline "benchmark complete."
-  | None, None, Some file, _ ->
+  | None, None, Some file, _, _ ->
       run_baseline_out file;
       print_endline "benchmark complete."
-  | None, None, None, Some file ->
+  | None, None, None, Some file, _ ->
       run_compare file;
       print_endline "benchmark complete."
-  | None, None, None, None ->
+  | None, None, None, None, Some file ->
+      run_scaling_out file;
+      print_endline "benchmark complete."
+  | None, None, None, None, None ->
   let table_results = if !tables then run_tables () else [] in
   if !sigma then run_sigma ();
   let adversary_results = if !adversary then run_adversary () else [] in

@@ -206,6 +206,7 @@ let protocol_conv =
     | "turquois" -> Ok Harness.Runner.Turquois
     | "bracha" -> Ok Harness.Runner.Bracha
     | "abba" -> Ok Harness.Runner.Abba
+    | "sampled" -> Ok Harness.Runner.Sampled
     | other -> Error (`Msg (Printf.sprintf "unknown protocol %S" other))
   in
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Harness.Runner.protocol_to_string p))
@@ -423,15 +424,21 @@ let write_repro dir ~n ~bug (f : Harness.Chaos.failure) =
   Model.Codec.save path artifact;
   Printf.printf "  wrote reproducer %s (replay: turquois_lab run --replay %s)\n" path path
 
-let run_chaos runs seed n strategy broken repro_out quiet jobs no_memo =
+let run_chaos runs seed n strategy broken with_sampled repro_out quiet jobs no_memo =
   apply_memo no_memo;
   let log = if quiet then fun _ -> () else progress in
   let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
-  let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~log ~jobs ~runs ~seed () in
+  let protocols =
+    Harness.Chaos.default_protocols
+    @ (if with_sampled then [ Harness.Runner.Sampled ] else [])
+  in
+  let report = Harness.Chaos.run_chaos ~n ~bug ?strategy ~protocols ~log ~jobs ~runs ~seed () in
   Printf.printf
-    "chaos: %d run(s) x {Turquois, Bracha, ABBA}, seed %Ld, n=%d\n\
+    "chaos: %d run(s) x {%s}, seed %Ld, n=%d\n\
     \  liveness checkable on %d schedule(s); %d violation(s)\n"
-    report.runs seed n report.liveness_checked
+    report.runs
+    (String.concat ", " (List.map Harness.Runner.protocol_to_string protocols))
+    seed n report.liveness_checked
     (List.length report.failures);
   List.iter
     (fun (f : Harness.Chaos.failure) ->
@@ -475,12 +482,19 @@ let chaos_cmd =
              ~doc:"Write each failure's minimal schedule to $(docv) as a replayable \
                    artifact (one JSON file per failure) for run --replay.")
   in
+  let with_sampled_arg =
+    Arg.(value & flag
+         & info [ "with-sampled" ]
+             ~doc:"Also subject the sample-based probabilistic consensus to every \
+                   schedule. Opt-in: its guarantees are probabilistic, so it rides \
+                   along rather than gating the default rotation.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
     Term.(
       const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg
-      $ repro_out_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
+      $ with_sampled_arg $ repro_out_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
 
 (* --- memocheck --------------------------------------------------------------- *)
 
@@ -672,6 +686,47 @@ let workload_cmd =
       const run_workload $ n_arg $ capacity_arg $ window_arg $ max_batch_arg $ loads_arg
       $ arrival_arg $ commands_arg $ cmd_bytes_arg $ loss_arg $ reps_arg 3 $ seed_arg
       $ timeout_arg $ jobs_arg $ no_memo_arg)
+
+(* --- scaling ------------------------------------------------------------------ *)
+
+let run_scaling sizes turquois_cap timeout seed jobs no_memo =
+  apply_memo no_memo;
+  match
+    Harness.Scaling.sweep ~jobs ~ns:sizes ~turquois_cap ~timeout ~seed ()
+  with
+  | points ->
+      (* stdout is a deterministic function of the arguments (memory is
+         JSON-only), so -j 1 and -j N outputs are byte-comparable *)
+      print_string (Harness.Scaling.render points);
+      0
+  | exception Invalid_argument msg ->
+      Printf.eprintf "turquois-lab: %s\n" msg;
+      2
+
+let scaling_cmd =
+  let sizes_arg =
+    Arg.(value & opt (list int) Harness.Scaling.default_ns
+         & info [ "sizes" ] ~docv:"N,..." ~doc:"Group sizes to sweep.")
+  in
+  let turquois_cap_arg =
+    Arg.(value & opt int 64
+         & info [ "turquois-cap" ] ~docv:"N"
+             ~doc:"Largest n at which the all-to-all Turquois baseline still runs \
+                   (0 disables it).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-point simulated-time limit.")
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:
+         "Scaling sweep past the paper's testbed: Turquois vs the sample-based \
+          consensus at n = 16..1024, with latency, traffic, airtime and engine \
+          high-water marks per point")
+    Term.(
+      const run_scaling $ sizes_arg $ turquois_cap_arg $ timeout_arg $ seed_arg
+      $ jobs_arg $ no_memo_arg)
 
 (* --- modelcheck -------------------------------------------------------------- *)
 
@@ -883,6 +938,7 @@ let main_cmd =
       messages_cmd;
       run_cmd;
       workload_cmd;
+      scaling_cmd;
       chaos_cmd;
       memocheck_cmd;
       modelcheck_cmd;

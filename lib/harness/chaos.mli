@@ -59,6 +59,11 @@ val check_schedule :
     load is implied by [strategy]; [bug] re-plants the deliberate
     harness self-test defect so its reproducers replay faithfully. *)
 
+val default_protocols : Runner.protocol list
+(** The hard-guarantee rotation: Turquois, Bracha, ABBA. The
+    probabilistic {!Scale.Sampled} protocol is deliberately not in it —
+    callers opt it in via [?protocols]. *)
+
 val run_chaos :
   ?n:int ->
   ?bug:bug ->

@@ -94,6 +94,7 @@ let table ~load ~protocol =
   | Net.Fault.Byzantine, Runner.Turquois -> table3_turquois
   | Net.Fault.Byzantine, Runner.Abba -> table3_abba
   | Net.Fault.Byzantine, Runner.Bracha -> table3_bracha
+  | _, Runner.Sampled -> [] (* beyond the paper: no published table *)
 
 let value ~load ~protocol ~n ~dist =
   match List.assoc_opt n (List.map (fun (g, u, d) -> (g, (u, d))) (table ~load ~protocol)) with

@@ -1,9 +1,10 @@
-type protocol = Turquois | Bracha | Abba
+type protocol = Turquois | Bracha | Abba | Sampled
 
 let protocol_to_string = function
   | Turquois -> "Turquois"
   | Bracha -> "Bracha"
   | Abba -> "ABBA"
+  | Sampled -> "Sampled"
 
 type dist = Unanimous | Divergent
 
@@ -25,6 +26,9 @@ type result = {
   timed_out : bool;
   frames_sent : int;
   bytes_sent : int;
+  airtime : float;
+  events_live_peak : int;
+  events_queued_peak : int;
   metrics : Obs.Metrics.snapshot;
 }
 
@@ -175,6 +179,40 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach ~t
           if not (List.mem i byzantine) then
             Baselines.Abba.on_decide p (fun ~value ~round -> record i value round);
           launch i (fun () -> Baselines.Abba.start p))
+        nodes
+  | Sampled ->
+      (* sample-based probabilistic consensus over the same radio/MAC
+         stack; the sampler and shared coin are public randomness
+         derived from the run seed, identical at every node *)
+      let net = Scale.Transport.of_nodes nodes ~port:443 in
+      let sampler = Scale.Sampler.create ~seed:(Util.Rng.derive ~base:seed [ 0x5a ]) ~n in
+      let coin_seed = Util.Rng.derive ~base:seed [ 0xc017 ] in
+      (* the default tick is sized for the abstract medium; contended
+         802.11b unicast needs whole phases — n * sample_size frames
+         sharing one channel — to fit between re-pushes *)
+      let cfg0 = Scale.Sampled.default_config ~n in
+      let tick =
+        let frames = float_of_int (n * cfg0.Scale.Sampled.sample_size) in
+        Float.max 0.25 (1.5 *. frames *. Net.Mac.airtime_unicast ~payload_bytes:8)
+      in
+      let cfg = { cfg0 with tick } in
+      Array.iteri
+        (fun i _node ->
+          let behavior =
+            if List.mem i byzantine then
+              match strategy with
+              | Some s when Core.Strategy.name s = "equivocate" ->
+                  Scale.Sampled.Equivocator
+              | _ -> Scale.Sampled.Attacker
+            else Scale.Sampled.Correct
+          in
+          let p =
+            Scale.Sampled.create net sampler cfg ~id:i ~coin_seed ~behavior
+              ~proposal:proposals.(i) ()
+          in
+          if not (List.mem i byzantine) then
+            Scale.Sampled.on_decide p (fun ~value ~phase -> record i value phase);
+          launch i (fun () -> Scale.Sampled.start p))
         nodes);
   let all_correct_decided () =
     List.for_all (fun i -> Hashtbl.mem decide_time i) correct
@@ -196,6 +234,9 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach ~t
     | Divergent -> true
   in
   let radio_stats = Net.Radio.stats radio in
+  Obs.Metrics.set "engine.events_live" (float_of_int (Net.Engine.events_live engine));
+  Obs.Metrics.set "engine.live_peak" (float_of_int (Net.Engine.live_peak engine));
+  Obs.Metrics.set "engine.queued_peak" (float_of_int (Net.Engine.queued_peak engine));
   {
     latencies;
     decisions;
@@ -207,6 +248,9 @@ let run_body ~protocol ~n ~dist ~load ~conditions ~strategy ~schedule ~attach ~t
     timed_out;
     frames_sent = radio_stats.frames_sent;
     bytes_sent = radio_stats.bytes_sent;
+    airtime = radio_stats.airtime;
+    events_live_peak = Net.Engine.live_peak engine;
+    events_queued_peak = Net.Engine.queued_peak engine;
     metrics = [];
   }
 

@@ -10,7 +10,11 @@
     size and shared across repetitions — exactly as the paper
     pre-distributes keys before its runs. *)
 
-type protocol = Turquois | Bracha | Abba
+type protocol = Turquois | Bracha | Abba | Sampled
+(** [Sampled] is the sample-based probabilistic consensus from
+    {!Scale.Sampled}, run over the same radio/MAC unicast stack;
+    Byzantine processes map the ["equivocate"] strategy to its
+    equivocator and every other strategy to its random attacker. *)
 
 val protocol_to_string : protocol -> string
 
@@ -36,6 +40,9 @@ type result = {
   timed_out : bool;
   frames_sent : int;               (** radio frames over the run *)
   bytes_sent : int;
+  airtime : float;                 (** cumulative medium occupancy, s *)
+  events_live_peak : int;          (** engine live-event high-water mark *)
+  events_queued_peak : int;        (** raw queue high-water mark *)
   metrics : Obs.Metrics.snapshot;
       (** per-run metrics across every instrumented layer; the global
           registry is reset at the start of each run ({!Obs.Scope.with_run}),

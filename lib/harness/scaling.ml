@@ -1,0 +1,266 @@
+(* Scaling sweep past the paper's n=16: Turquois (all-to-all, up to
+   [turquois_cap]) against the sample-based consensus (every n, over
+   the scalable abstract medium on the calendar-queue backend). *)
+
+type point = {
+  protocol : string;
+  n : int;
+  honest : int;
+  decided : int;
+  mean_latency : float;
+  max_latency : float;
+  duration : float;
+  msgs : int;
+  bytes : int;
+  airtime : float;
+  live_peak : int;
+  queued_peak : int;
+  arena_hw : int;
+  timed_out : bool;
+  mem_words : int;
+}
+
+let default_ns = [ 16; 64; 256; 1024 ]
+
+(* Words allocated by the current domain so far. The delta across a
+   point's body is (a) parallel-safe — the counters are domain-local,
+   so concurrent points on other domains don't bleed in — and (b) a
+   deterministic function of the run itself, unlike [top_heap_words],
+   which is a process-global monotonic high-water mark and therefore
+   depends on which points happened to run earlier on the heap. *)
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* One sampled-consensus execution: n correct nodes, divergent
+   proposals, 1% iid loss, all randomness derived from [seed]. *)
+let run_sampled ~n ~seed ~timeout =
+  let body () =
+    let alloc0 = alloc_words () in
+    let engine = Net.Engine.create ~backend:Calendar () in
+    let rng = Util.Rng.create ~seed in
+    let medium =
+      Scale.Medium.create engine (Util.Rng.split rng) ~n ~loss:0.01 ()
+    in
+    let net = Scale.Transport.of_medium medium in
+    let sampler = Scale.Sampler.create ~seed:(Util.Rng.derive ~base:seed [ 1 ]) ~n in
+    let coin_seed = Util.Rng.derive ~base:seed [ 2 ] in
+    let cfg = Scale.Sampled.default_config ~n in
+    let decide_time : (int, float) Hashtbl.t = Hashtbl.create n in
+    let nodes =
+      Util.Init.array n (fun id ->
+          let p =
+            Scale.Sampled.create net sampler cfg ~id ~coin_seed
+              ~proposal:(id land 1) ()
+          in
+          Scale.Sampled.on_decide p (fun ~value:_ ~phase:_ ->
+              Hashtbl.replace decide_time id (Net.Engine.now engine));
+          p)
+    in
+    Array.iter Scale.Sampled.start nodes;
+    Net.Engine.run_while engine (fun () ->
+        Net.Engine.now engine < timeout && Hashtbl.length decide_time < n);
+    let timed_out = Hashtbl.length decide_time < n in
+    (* drain the linger/claim tail so traffic totals are complete *)
+    Net.Engine.run ~until:timeout engine;
+    let lats = Hashtbl.fold (fun _ l acc -> l :: acc) decide_time [] in
+    let stats = Scale.Medium.stats medium in
+    {
+      protocol = "Sampled";
+      n;
+      honest = n;
+      decided = Hashtbl.length decide_time;
+      mean_latency =
+        (if lats = [] then 0.0
+         else List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats));
+      max_latency = List.fold_left Float.max 0.0 lats;
+      duration = Net.Engine.now engine;
+      msgs = stats.msgs_sent;
+      bytes = stats.bytes_sent;
+      airtime = stats.airtime;
+      live_peak = Net.Engine.live_peak engine;
+      queued_peak = Net.Engine.queued_peak engine;
+      arena_hw = Scale.Medium.arena_high_water medium;
+      timed_out;
+      mem_words = int_of_float (alloc_words () -. alloc0);
+    }
+  in
+  fst (Obs.Scope.with_run body)
+
+let run_turquois ~n ~seed ~timeout =
+  let alloc0 = alloc_words () in
+  let r =
+    Runner.run ~protocol:Runner.Turquois ~n ~dist:Runner.Divergent
+      ~load:Net.Fault.Failure_free ~timeout ~seed ()
+  in
+  let lats = List.map snd r.Runner.latencies in
+  {
+    protocol = "Turquois";
+    n;
+    honest = List.length r.Runner.correct;
+    decided = List.length lats;
+    mean_latency =
+      (if lats = [] then 0.0
+       else List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats));
+    max_latency = List.fold_left Float.max 0.0 lats;
+    duration = r.Runner.duration;
+    msgs = r.Runner.frames_sent;
+    bytes = r.Runner.bytes_sent;
+    airtime = r.Runner.airtime;
+    live_peak = r.Runner.events_live_peak;
+    queued_peak = r.Runner.events_queued_peak;
+    arena_hw = 0;
+    timed_out = r.Runner.timed_out;
+    mem_words = int_of_float (alloc_words () -. alloc0);
+  }
+
+let sweep ?jobs ?(ns = default_ns) ?(turquois_cap = 64) ?(timeout = 30.0) ~seed () =
+  if ns = [] then invalid_arg "Scaling.sweep: need at least one n";
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun n ->
+           (if n <= turquois_cap then [ ("Turquois", n) ] else [])
+           @ [ ("Sampled", n) ])
+         ns)
+  in
+  Pool.map ?jobs ~tasks:(Array.length tasks) (fun i ->
+      let protocol, n = tasks.(i) in
+      let seed = Util.Rng.derive ~base:seed [ i; n ] in
+      match protocol with
+      | "Turquois" -> run_turquois ~n ~seed ~timeout
+      | _ -> run_sampled ~n ~seed ~timeout)
+  |> Array.to_list
+
+(* deterministic fields only: the table is diffed across -j values *)
+let render points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-9s %5s %9s %10s %10s %9s %9s %11s %9s %9s %10s %8s %6s\n"
+       "protocol" "n" "decided" "mean_ms" "max_ms" "dur_s" "msgs" "bytes"
+       "airtime_s" "live_pk" "queued_pk" "arena" "t/o");
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-9s %5d %4d/%-4d %10.2f %10.2f %9.3f %9d %11d %9.3f %9d %10d %8d %6s\n"
+           p.protocol p.n p.decided p.honest (p.mean_latency *. 1e3)
+           (p.max_latency *. 1e3) p.duration p.msgs p.bytes p.airtime p.live_peak
+           p.queued_peak p.arena_hw
+           (if p.timed_out then "yes" else "no")))
+    points;
+  Buffer.contents buf
+
+type doc = {
+  ns : int list;
+  turquois_cap : int;
+  timeout : float;
+  seed : int64;
+  points : point list;
+}
+
+let to_json ~schema_version ~ns ~turquois_cap ~timeout ~seed points =
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String "scaling");
+      ("bench_schema_version", Obs.Json.Int schema_version);
+      ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) ns));
+      ("turquois_cap", Obs.Json.Int turquois_cap);
+      ("timeout_s", Obs.Json.Float timeout);
+      ("seed", Obs.Json.String (Int64.to_string seed));
+      ( "points",
+        Obs.Json.List
+          (List.map
+             (fun p ->
+               Obs.Json.Obj
+                 [
+                   ("protocol", Obs.Json.String p.protocol);
+                   ("n", Obs.Json.Int p.n);
+                   ("honest", Obs.Json.Int p.honest);
+                   ("decided", Obs.Json.Int p.decided);
+                   ("mean_latency_s", Obs.Json.Float p.mean_latency);
+                   ("max_latency_s", Obs.Json.Float p.max_latency);
+                   ("duration_s", Obs.Json.Float p.duration);
+                   ("msgs", Obs.Json.Int p.msgs);
+                   ("bytes", Obs.Json.Int p.bytes);
+                   ("airtime_s", Obs.Json.Float p.airtime);
+                   ("live_peak", Obs.Json.Int p.live_peak);
+                   ("queued_peak", Obs.Json.Int p.queued_peak);
+                   ("arena_hw", Obs.Json.Int p.arena_hw);
+                   ("timed_out", Obs.Json.Bool p.timed_out);
+                   ("mem_words", Obs.Json.Int p.mem_words);
+                 ])
+             points) );
+    ]
+
+let of_json json =
+  let open Obs.Json in
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "malformed scaling doc" in
+  let* bench = Option.bind (member "bench" json) to_str in
+  if bench <> "scaling" then Error "not a scaling document"
+  else
+    let* ns =
+      match Option.bind (member "sizes" json) to_list with
+      | None -> None
+      | Some l ->
+          List.fold_left
+            (fun acc j ->
+              match (acc, to_int j) with
+              | Some ns, Some n -> Some (n :: ns)
+              | _, _ -> None)
+            (Some []) l
+          |> Option.map List.rev
+    in
+    let* turquois_cap = Option.bind (member "turquois_cap" json) to_int in
+    let* timeout = Option.bind (member "timeout_s" json) to_float in
+    let* seed =
+      Option.bind (member "seed" json) (fun j ->
+          Option.bind (to_str j) Int64.of_string_opt)
+    in
+    let* points = Option.bind (member "points" json) to_list in
+    let parse_point p =
+      let int k = Option.bind (member k p) to_int in
+      let flt k = Option.bind (member k p) to_float in
+      let* protocol = Option.bind (member "protocol" p) to_str in
+      let* n = int "n" in
+      let* honest = int "honest" in
+      let* decided = int "decided" in
+      let* mean_latency = flt "mean_latency_s" in
+      let* max_latency = flt "max_latency_s" in
+      let* duration = flt "duration_s" in
+      let* msgs = int "msgs" in
+      let* bytes = int "bytes" in
+      let* airtime = flt "airtime_s" in
+      let* live_peak = int "live_peak" in
+      let* queued_peak = int "queued_peak" in
+      let* arena_hw = int "arena_hw" in
+      let* timed_out = Option.bind (member "timed_out" p) to_bool in
+      let* mem_words = int "mem_words" in
+      Ok
+        {
+          protocol;
+          n;
+          honest;
+          decided;
+          mean_latency;
+          max_latency;
+          duration;
+          msgs;
+          bytes;
+          airtime;
+          live_peak;
+          queued_peak;
+          arena_hw;
+          timed_out;
+          mem_words;
+        }
+    in
+    List.fold_left
+      (fun acc p ->
+        match (acc, parse_point p) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok ps, Ok p -> Ok (p :: ps))
+      (Ok []) points
+    |> Result.map (fun points ->
+           { ns; turquois_cap; timeout; seed; points = List.rev points })

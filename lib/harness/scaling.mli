@@ -1,0 +1,80 @@
+(** Scaling sweep: Turquois vs the sample-based protocols as n grows
+    past the paper's 16-node testbed (16 / 64 / 256 / 1024).
+
+    Turquois is all-to-all — every phase costs O(n^2) receptions — so
+    it is only run up to [turquois_cap] (its collapse there is itself
+    the result). The sampled protocol runs at every n over the
+    scalable abstract {!Scale.Medium} on the calendar-queue engine
+    backend. Each point reports decision coverage, latency, traffic,
+    airtime and the engine/arena high-water marks; every rendered
+    field is a deterministic function of the seed, so tables are
+    bit-identical across [-j N] ([mem_words] is within a cache-warmup
+    constant of deterministic and stays out of the table). *)
+
+type point = {
+  protocol : string;
+  n : int;
+  honest : int;
+  decided : int;  (** honest nodes that decided before the timeout *)
+  mean_latency : float;  (** seconds, over deciders *)
+  max_latency : float;
+  duration : float;  (** simulated seconds until quiescence/timeout *)
+  msgs : int;
+  bytes : int;
+  airtime : float;  (** cumulative medium occupancy, seconds *)
+  live_peak : int;  (** engine live-event high-water mark *)
+  queued_peak : int;  (** raw event-queue high-water mark *)
+  arena_hw : int;  (** peak in-flight messages (sampled runs; else 0) *)
+  timed_out : bool;
+  mem_words : int;
+      (** words allocated by the point on its own domain (minor +
+          major - promoted delta) — a coarse memory-cost proxy that,
+          unlike a process-global heap high-water mark, does not
+          depend on which points ran earlier or on [-j]. Domain-cache
+          warmup can still shift it by a small constant, so it is
+          excluded from {!render} and compared one-sidedly. *)
+}
+
+val default_ns : int list
+(** [16; 64; 256; 1024] *)
+
+val sweep :
+  ?jobs:int ->
+  ?ns:int list ->
+  ?turquois_cap:int ->
+  ?timeout:float ->
+  seed:int64 ->
+  unit ->
+  point list
+(** Runs the grid on the worker pool. [turquois_cap] defaults to 64;
+    [timeout] (simulated seconds) to 30. Point order follows [ns],
+    Turquois before Sampled at each n. *)
+
+val render : point list -> string
+(** Fixed-width table of the deterministic fields only. *)
+
+type doc = {
+  ns : int list;
+  turquois_cap : int;
+  timeout : float;
+  seed : int64;
+  points : point list;
+}
+(** A parsed scaling document: the sweep parameters it was generated
+    with (so [--compare] can re-run the identical grid) plus its
+    points. *)
+
+val to_json :
+  schema_version:int ->
+  ns:int list ->
+  turquois_cap:int ->
+  timeout:float ->
+  seed:int64 ->
+  point list ->
+  Obs.Json.t
+(** Self-describing document (["bench" = "scaling"]) for
+    [BENCH_scaling.json]; records the sweep parameters and includes
+    [mem_words]. *)
+
+val of_json : Obs.Json.t -> (doc, string) result
+(** Parses a document produced by {!to_json} (for [--compare]). *)

@@ -10,7 +10,17 @@ type t
 type handle
 (** Names a scheduled event so it can be cancelled. *)
 
-val create : unit -> t
+type backend =
+  | Heap  (** binary min-heap: O(log n) push/pop, the default *)
+  | Calendar
+      (** calendar queue (bucketed timing wheel): O(1) amortized when
+          deadlines are spread over a few wheel revolutions, the regime
+          of large simulations. Pop-for-pop bit-identical to [Heap] —
+          both order by the full (time, seq) key. *)
+
+val create : ?backend:backend -> unit -> t
+
+val backend : t -> backend
 
 val now : t -> float
 (** Current simulation time in seconds. *)
@@ -30,10 +40,19 @@ val pending : t -> int
     quiescence signal: cancelled events never count, even before they
     are lazily collected from the heap. *)
 
+val events_live : t -> int
+(** Alias for {!pending}; the name the metrics exporters use. *)
+
 val heap_size : t -> int
-(** Raw heap occupancy, including cancelled events awaiting lazy
-    collection. [heap_size t >= pending t]; exposed for tests and
-    queue-depth diagnostics. *)
+(** Raw queue occupancy (either backend), including cancelled events
+    awaiting lazy collection. [heap_size t >= pending t]; exposed for
+    tests and queue-depth diagnostics. *)
+
+val live_peak : t -> int
+(** High-water mark of {!pending} over the engine's lifetime. *)
+
+val queued_peak : t -> int
+(** High-water mark of {!heap_size} over the engine's lifetime. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drains the queue. Stops when the queue is empty, when the next event

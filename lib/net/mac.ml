@@ -222,28 +222,24 @@ let send_ack t ~dst ~seq =
          Obs.Metrics.incr "mac.tx" ~labels:[ ("class", "ack") ];
          Radio.transmit t.radio ~kind:"ack" ~sender:t.node_id ~duration:ack_airtime encoded))
 
-let handle_radio_receive t ~sender:_ raw =
-  match decode_frame raw with
-  | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
-  | frame -> begin
-      match frame.kind with
-      | Ack -> if frame.dst = t.node_id then handle_ack t frame.seq
-      | Data ->
-          if frame.dst = broadcast_dst then begin
-            match t.deliver with
-            | Some f -> f ~src:frame.src frame.payload
-            | None -> ()
-          end
-          else if frame.dst = t.node_id then begin
-            send_ack t ~dst:frame.src ~seq:frame.seq;
-            if not (Hashtbl.mem t.seen (frame.src, frame.seq)) then begin
-              Hashtbl.add t.seen (frame.src, frame.seq) ();
-              match t.deliver with
-              | Some f -> f ~src:frame.src frame.payload
-              | None -> ()
-            end
-          end
-    end
+let handle_mac_frame t frame =
+  match frame.kind with
+  | Ack -> if frame.dst = t.node_id then handle_ack t frame.seq
+  | Data ->
+      if frame.dst = broadcast_dst then begin
+        match t.deliver with
+        | Some f -> f ~src:frame.src frame.payload
+        | None -> ()
+      end
+      else if frame.dst = t.node_id then begin
+        send_ack t ~dst:frame.src ~seq:frame.seq;
+        if not (Hashtbl.mem t.seen (frame.src, frame.seq)) then begin
+          Hashtbl.add t.seen (frame.src, frame.seq) ();
+          match t.deliver with
+          | Some f -> f ~src:frame.src frame.payload
+          | None -> ()
+        end
+      end
 
 (* Shared dispatch: the radio has a single receive callback, so the first
    MAC created installs a dispatcher over a registry of MAC entities.
@@ -276,10 +272,35 @@ let create engine radio ~id ~rng =
   | None ->
       let cell = ref [| t |] in
       registries := (radio, cell) :: !registries;
-      Radio.on_receive radio (fun receiver ~sender raw ->
-          Array.iter
-            (fun mac -> if mac.node_id = receiver then handle_radio_receive mac ~sender raw)
-            !cell));
+      (* The radio hands every receiver of one transmission the same
+         physical frame bytes, so a one-entry cache keyed on physical
+         equality decodes once per transmission and shares the decoded
+         frame — payload buffer included, treated as immutable — across
+         the whole fan-out, instead of materializing n-1 private
+         copies. Interleaved deliveries (per-receiver rx delays) only
+         cost a re-decode; the result is byte-identical either way. *)
+      let cache_raw = ref Bytes.empty in
+      let cache_frame : frame option ref = ref None in
+      let decode_shared raw =
+        if raw == !cache_raw then !cache_frame
+        else begin
+          let decoded =
+            match decode_frame raw with
+            | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> None
+            | frame -> Some frame
+          in
+          cache_raw := raw;
+          cache_frame := decoded;
+          decoded
+        end
+      in
+      Radio.on_receive radio (fun receiver ~sender:_ raw ->
+          match decode_shared raw with
+          | None -> ()
+          | Some frame ->
+              Array.iter
+                (fun mac -> if mac.node_id = receiver then handle_mac_frame mac frame)
+                !cell));
   t
 
 let enqueue t p =

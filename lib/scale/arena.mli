@@ -1,0 +1,29 @@
+(** Flat preallocated slot arena with a free list.
+
+    Replaces per-event allocation of in-flight records in the scalable
+    delivery engine: [alloc] hands out a recycled slot index in O(1)
+    (doubling the backing array only when exhausted), [free] returns
+    it. The high-water mark reports the peak in-flight backlog. *)
+
+type 'a t
+
+val create : ?capacity:int -> (unit -> 'a) -> 'a t
+(** [create ~capacity default] preallocates [capacity] (default 256)
+    slots built by [default]. *)
+
+val alloc : 'a t -> int
+(** Claims a slot and returns its index; grows the arena if full. *)
+
+val free : 'a t -> int -> unit
+(** Returns a slot to the free list.
+    @raise Invalid_argument if the slot is not currently allocated. *)
+
+val get : 'a t -> int -> 'a
+(** The record in an allocated slot (mutate it in place).
+    @raise Invalid_argument if the slot is not currently allocated. *)
+
+val in_use : 'a t -> int
+val capacity : 'a t -> int
+
+val high_water : 'a t -> int
+(** Peak simultaneous [in_use] over the arena's lifetime. *)

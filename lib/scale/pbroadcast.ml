@@ -1,0 +1,294 @@
+(* Sample-based probabilistic reliable broadcast.
+
+   The Murmur / Sieve / Contagion stack of Guerraoui et al. (Scalable
+   Byzantine Reliable Broadcast): gossip spreads the payload to
+   O(log n) peers, an echo sample replaces the quorum of consistent
+   broadcast, and a ready/delivery sample replaces the quorum of
+   totality — per-node cost is O(samples), not O(n), at the price of
+   probabilistic (not certain) consistency and totality.
+
+   All samples come from {!Sampler}'s shared public randomness, so a
+   node sends its echoes and readies to the *inverse* sets — "everyone
+   whose sample I am in" — with no subscription round-trips. Messages
+   are re-pushed for a bounded number of ticks to ride out iid loss;
+   every push shares one encoded buffer across its whole fan-out. *)
+
+type config = {
+  gossip_size : int;
+  echo_size : int;
+  ready_size : int;
+  delivery_size : int;
+  echo_threshold : float; (* fraction of the echo sample *)
+  ready_threshold : float; (* feedback fraction of the ready sample *)
+  delivery_threshold : float; (* fraction of the delivery sample *)
+  resend_ticks : int;
+  tick : float;
+}
+
+let default_config ~n =
+  let s = max 6 (int_of_float (ceil (3.0 *. log (float_of_int (max 2 n))))) in
+  {
+    gossip_size = s;
+    echo_size = s;
+    ready_size = s;
+    delivery_size = s;
+    echo_threshold = 0.6;
+    ready_threshold = 0.35;
+    delivery_threshold = 0.6;
+    resend_ticks = 8;
+    tick = 0.05;
+  }
+
+(* role tags into the shared sampler *)
+let gossip_tag = 7001
+let echo_tag = 7002
+let ready_tag = 7003
+let delivery_tag = 7004
+
+(* --- wire format -------------------------------------------------------- *)
+
+let encode ~kind ~origin payload =
+  let w = Util.Codec.W.create ~capacity:(8 + Bytes.length payload) () in
+  Util.Codec.W.u8 w kind;
+  Util.Codec.W.u16 w origin;
+  Util.Codec.W.bytes_lp w payload;
+  Util.Codec.W.contents w
+
+let decode raw =
+  let r = Util.Codec.R.of_bytes raw in
+  let kind = Util.Codec.R.u8 r in
+  let origin = Util.Codec.R.u16 r in
+  let payload = Util.Codec.R.bytes_lp r in
+  Util.Codec.R.expect_end r;
+  (kind, origin, payload)
+
+(* --- per-content vote tallies ------------------------------------------- *)
+
+type tally = {
+  mutable voters : int list; (* senders already counted, any content *)
+  mutable counts : (string * int ref) list;
+}
+
+let new_tally () = { voters = []; counts = [] }
+
+(* first vote per sender counts; returns the content's new total *)
+let vote tally ~sender ~content =
+  if List.mem sender tally.voters then None
+  else begin
+    tally.voters <- sender :: tally.voters;
+    let cnt =
+      match List.assoc_opt content tally.counts with
+      | Some r -> r
+      | None ->
+          let r = ref 0 in
+          tally.counts <- (content, r) :: tally.counts;
+          r
+    in
+    incr cnt;
+    Some !cnt
+  end
+
+(* --- broadcast instances ------------------------------------------------ *)
+
+type inst = {
+  mutable gossip_msg : bytes option; (* what I relay for this origin *)
+  mutable echo_msg : bytes option;
+  mutable ready_msg : bytes option;
+  mutable delivered : bytes option;
+  echo_tally : tally;
+  feedback_tally : tally;
+  delivery_tally : tally;
+}
+
+type t = {
+  node_id : int;
+  net : Transport.t;
+  cfg : config;
+  insts : (int, inst) Hashtbl.t; (* origin -> state *)
+  mutable origins : int list; (* insertion order, for deterministic resends *)
+  mutable deliver_cb : (origin:int -> bytes -> unit) option;
+  mutable ticks_left : int;
+  mutable started : bool;
+  (* who I count votes from *)
+  echo_listen : int array;
+  ready_listen : int array;
+  delivery_listen : int array;
+  (* who I push to *)
+  gossip_out : int array;
+  echo_out : int array;
+  ready_out : int array;
+}
+
+let labels = [ ("proto", "pbcast") ]
+
+let create net sampler cfg ~id () =
+  let sample tag k = Sampler.sample sampler ~owner:id ~tag ~k in
+  let incoming tag k = Sampler.incoming sampler ~node:id ~tag ~k in
+  let ready_out =
+    (* readies feed both the feedback and the delivery samples *)
+    Array.of_list
+      (List.sort_uniq compare
+         (Array.to_list (incoming ready_tag cfg.ready_size)
+         @ Array.to_list (incoming delivery_tag cfg.delivery_size)))
+  in
+  {
+    node_id = id;
+    net;
+    cfg;
+    insts = Hashtbl.create 8;
+    origins = [];
+    deliver_cb = None;
+    ticks_left = cfg.resend_ticks;
+    started = false;
+    echo_listen = sample echo_tag cfg.echo_size;
+    ready_listen = sample ready_tag cfg.ready_size;
+    delivery_listen = sample delivery_tag cfg.delivery_size;
+    gossip_out = sample gossip_tag cfg.gossip_size;
+    echo_out = incoming echo_tag cfg.echo_size;
+    ready_out;
+  }
+
+let id t = t.node_id
+let on_deliver t f = t.deliver_cb <- Some f
+let delivered t ~origin =
+  match Hashtbl.find_opt t.insts origin with
+  | Some inst -> inst.delivered
+  | None -> None
+
+let inst_for t origin =
+  match Hashtbl.find_opt t.insts origin with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          gossip_msg = None;
+          echo_msg = None;
+          ready_msg = None;
+          delivered = None;
+          echo_tally = new_tally ();
+          feedback_tally = new_tally ();
+          delivery_tally = new_tally ();
+        }
+      in
+      Hashtbl.add t.insts origin i;
+      t.origins <- origin :: t.origins;
+      i
+
+let push t dsts msg =
+  Array.iter
+    (fun dst ->
+      Obs.Metrics.incr "proto.msgs_sent" ~labels;
+      Transport.send t.net ~src:t.node_id ~dst msg)
+    dsts
+
+let threshold frac sample = max 1 (int_of_float (ceil (frac *. float_of_int (Array.length sample))))
+
+let member sample id = Array.exists (fun x -> x = id) sample
+
+let deliver t origin (inst : inst) payload =
+  if inst.delivered = None then begin
+    inst.delivered <- Some payload;
+    Obs.Metrics.incr "proto.decisions" ~labels;
+    match t.deliver_cb with Some f -> f ~origin payload | None -> ()
+  end
+
+let send_ready t origin inst payload =
+  if inst.ready_msg = None then begin
+    let msg = encode ~kind:2 ~origin payload in
+    inst.ready_msg <- Some msg;
+    push t t.ready_out msg
+  end
+
+let send_echo t origin inst payload =
+  if inst.echo_msg = None then begin
+    let msg = encode ~kind:1 ~origin payload in
+    inst.echo_msg <- Some msg;
+    push t t.echo_out msg
+  end
+
+let handle_gossip t origin payload =
+  let inst = inst_for t origin in
+  if inst.gossip_msg = None then begin
+    let msg = encode ~kind:0 ~origin payload in
+    inst.gossip_msg <- Some msg;
+    push t t.gossip_out msg;
+    send_echo t origin inst payload
+  end
+
+let handle_echo t ~src origin payload =
+  if member t.echo_listen src then begin
+    let inst = inst_for t origin in
+    match vote inst.echo_tally ~sender:src ~content:(Bytes.to_string payload) with
+    | Some count when count >= threshold t.cfg.echo_threshold t.echo_listen ->
+        send_ready t origin inst payload
+    | Some _ | None -> ()
+  end
+
+let handle_ready t ~src origin payload =
+  let inst = inst_for t origin in
+  let content = Bytes.to_string payload in
+  if member t.ready_listen src then begin
+    match vote inst.feedback_tally ~sender:src ~content with
+    | Some count when count >= threshold t.cfg.ready_threshold t.ready_listen ->
+        (* contagion: enough sampled readies are themselves evidence *)
+        send_ready t origin inst payload
+    | Some _ | None -> ()
+  end;
+  if member t.delivery_listen src then begin
+    match vote inst.delivery_tally ~sender:src ~content with
+    | Some count when count >= threshold t.cfg.delivery_threshold t.delivery_listen ->
+        deliver t origin inst payload
+    | Some _ | None -> ()
+  end
+
+let on_message t ~src raw =
+  match decode raw with
+  | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
+  | 0, origin, payload -> handle_gossip t origin payload
+  | 1, origin, payload -> handle_echo t ~src origin payload
+  | 2, origin, payload -> handle_ready t ~src origin payload
+  | _ -> ()
+
+(* bounded re-push of everything this node has committed to saying;
+   rides out iid loss without acknowledgment state *)
+let resend t =
+  List.iter
+    (fun origin ->
+      let inst = Hashtbl.find t.insts origin in
+      (match inst.gossip_msg with Some m -> push t t.gossip_out m | None -> ());
+      (match inst.echo_msg with Some m -> push t t.echo_out m | None -> ());
+      match inst.ready_msg with Some m -> push t t.ready_out m | None -> ())
+    (List.rev t.origins)
+
+let rec arm t =
+  if t.ticks_left > 0 then
+    Transport.timer t.net ~node:t.node_id ~delay:t.cfg.tick (fun () ->
+        t.ticks_left <- t.ticks_left - 1;
+        Obs.Metrics.incr "proto.ticks" ~labels;
+        resend t;
+        arm t)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Transport.register t.net ~node:t.node_id (fun ~src raw -> on_message t ~src raw);
+    arm t
+  end
+
+let broadcast t payload =
+  handle_gossip t t.node_id payload;
+  Obs.Metrics.incr "proto.broadcasts" ~labels
+
+(* a faulty origin: contradictory gossip, half the sample each way,
+   and no honest echo of its own *)
+let broadcast_equivocate t pay_a pay_b =
+  let inst = inst_for t t.node_id in
+  let msg_a = encode ~kind:0 ~origin:t.node_id pay_a in
+  let msg_b = encode ~kind:0 ~origin:t.node_id pay_b in
+  inst.gossip_msg <- Some msg_a;
+  Array.iteri
+    (fun i dst ->
+      Obs.Metrics.incr "proto.msgs_sent" ~labels;
+      Transport.send t.net ~src:t.node_id ~dst (if i land 1 = 0 then msg_a else msg_b))
+    t.gossip_out;
+  Obs.Metrics.incr "proto.equivocations" ~labels

@@ -1,0 +1,39 @@
+(** Sample-based probabilistic reliable broadcast (Murmur gossip,
+    Sieve echo sampling, Contagion ready/delivery sampling).
+
+    Per-node cost is O(sample sizes), not O(n); consistency and
+    totality hold with probability 1 - epsilon rather than certainly.
+    Sample sets come from {!Sampler}'s shared public randomness, so
+    results are bit-identical at any parallelism. *)
+
+type config = {
+  gossip_size : int;
+  echo_size : int;
+  ready_size : int;
+  delivery_size : int;
+  echo_threshold : float;
+  ready_threshold : float;
+  delivery_threshold : float;
+  resend_ticks : int;  (** bounded re-push rounds against iid loss *)
+  tick : float;
+}
+
+val default_config : n:int -> config
+(** Sample sizes ~ 3 ln n (min 6); thresholds 0.6 / 0.35 / 0.6. *)
+
+type t
+
+val create : Transport.t -> Sampler.t -> config -> id:int -> unit -> t
+val id : t -> int
+val on_deliver : t -> (origin:int -> bytes -> unit) -> unit
+
+val start : t -> unit
+(** Registers the listen hook and arms the bounded resend ticks. *)
+
+val broadcast : t -> bytes -> unit
+(** Broadcast as origin [id t]. *)
+
+val broadcast_equivocate : t -> bytes -> bytes -> unit
+(** Faulty origin: contradictory gossip, half the sample each way. *)
+
+val delivered : t -> origin:int -> bytes option

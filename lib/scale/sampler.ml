@@ -1,0 +1,66 @@
+(* Deterministic public sample sets.
+
+   Every sample is a pure function of (base seed, owner, tag): any
+   domain can recompute any node's sample without shared state or
+   subscription traffic, which keeps -j 1 and -j N runs bit-identical
+   and lets receivers invert "whose sample am I in" offline. This
+   models the common-randomness setup of scalable-broadcast protocols
+   (samples drawn from a shared random beacon rather than private
+   coins); the adversary is assumed non-adaptive, as in the source
+   analysis. *)
+
+type t = {
+  base : int64;
+  n : int;
+  samples : (int * int * int, int array) Hashtbl.t; (* (owner, tag, k) *)
+  inverses : (int * int, int list array) Hashtbl.t; (* (tag, k) *)
+}
+
+let create ~seed ~n =
+  if n < 2 then invalid_arg "Sampler.create: need n >= 2";
+  { base = seed; n; samples = Hashtbl.create 64; inverses = Hashtbl.create 8 }
+
+let size t = t.n
+
+(* k distinct peers of [owner] (owner excluded), by partial
+   Fisher-Yates over the other n-1 ids; O(k) space via the sparse
+   swap map. *)
+let sample t ~owner ~tag ~k =
+  if owner < 0 || owner >= t.n then invalid_arg "Sampler.sample: bad owner";
+  if k < 1 then invalid_arg "Sampler.sample: bad sample size";
+  let k = min k (t.n - 1) in
+  match Hashtbl.find_opt t.samples (owner, tag, k) with
+  | Some s -> s
+  | None ->
+      let rng = Util.Rng.create ~seed:(Util.Rng.derive ~base:t.base [ owner; tag ]) in
+      let moved = Hashtbl.create (2 * k) in
+      let get i = Option.value ~default:i (Hashtbl.find_opt moved i) in
+      let m = t.n - 1 in
+      let out =
+        Array.init k (fun i ->
+            let j = i + Util.Rng.int rng (m - i) in
+            let vi = get i and vj = get j in
+            Hashtbl.replace moved j vi;
+            if vj >= owner then vj + 1 else vj)
+      in
+      Hashtbl.add t.samples (owner, tag, k) out;
+      out
+
+let in_sample t ~owner ~tag ~k id = Array.exists (fun x -> x = id) (sample t ~owner ~tag ~k)
+
+(* incoming sets: [inverse t ~tag ~k].(p) = sorted list of owners q
+   with p in q's sample — who p should expect (and accept) pushes
+   from. O(n*k) once per (tag, k), then shared. *)
+let inverse t ~tag ~k =
+  let k = min (max k 1) (t.n - 1) in
+  match Hashtbl.find_opt t.inverses (tag, k) with
+  | Some inv -> inv
+  | None ->
+      let inv = Array.make t.n [] in
+      for owner = t.n - 1 downto 0 do
+        Array.iter (fun dst -> inv.(dst) <- owner :: inv.(dst)) (sample t ~owner ~tag ~k)
+      done;
+      Hashtbl.add t.inverses (tag, k) inv;
+      inv
+
+let incoming t ~node ~tag ~k = Array.of_list (inverse t ~tag ~k).(node)

@@ -1,0 +1,24 @@
+(** Carrier abstraction for the sample-based protocols: point-to-point
+    sends, per-node timers and a listen hook. Constructors exist for
+    the scalable abstract {!Medium}, the radio/MAC node stack and the
+    {!Net.Rlink} reliable-link mesh. *)
+
+type t
+
+val size : t -> int
+val now : t -> float
+val send : t -> src:int -> dst:int -> bytes -> unit
+val timer : t -> node:int -> delay:float -> (unit -> unit) -> unit
+
+val register : t -> node:int -> (src:int -> bytes -> unit) -> unit
+(** Installs [node]'s delivery callback (one per node). *)
+
+val of_medium : Medium.t -> t
+
+val of_nodes : Net.Node.t array -> port:int -> t
+(** Over the radio/MAC stack; sends become acknowledged 802.11b
+    unicast frames on the shared medium. *)
+
+val of_rlinks : Net.Node.t array -> port:int -> t
+(** Over a mesh of reliable ordered links (one {!Net.Rlink} per node,
+    implicit pairwise connections). *)

@@ -25,4 +25,5 @@ let () =
       Test_hotpath.suite;
       Test_model.suite;
       Test_workload.suite;
+      Test_scale.suite;
     ]
