@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke modelcheck-smoke workload-smoke scale-smoke chaos clean
+.PHONY: all build test fmt check bench bench-json bench-baseline bench-compare causal-smoke pool-smoke memo-smoke compact-smoke modelcheck-smoke workload-smoke scale-smoke chaos clean
 
 all: build
 
@@ -29,6 +29,20 @@ pool-smoke:
 # with the single-run memoization off and on (exits non-zero otherwise)
 memo-smoke:
 	dune exec bin/turquois_lab.exe -- memocheck --quiet
+
+# compact smoke: the wire-compression contract — every scenario must
+# reach the same decisions with delta-compressed justification bundles
+# off and on (exits non-zero otherwise), and a small sweep that includes
+# the compact Turquois hot path must stay bit-identical at -j 1 / -j 2
+compact-smoke:
+	dune exec bin/turquois_lab.exe -- compactcheck --quiet
+	dune exec bin/turquois_lab.exe -- scaling --sizes 16 --turquois-cap 16 \
+	  --radio-cap 16 -j 1 > /tmp/turquois_compact_j1.txt
+	dune exec bin/turquois_lab.exe -- scaling --sizes 16 --turquois-cap 16 \
+	  --radio-cap 16 -j 2 > /tmp/turquois_compact_j2.txt
+	cmp /tmp/turquois_compact_j1.txt /tmp/turquois_compact_j2.txt \
+	  || { echo "compact smoke failed: -j 1 and -j 2 sweeps diverged"; exit 1; }
+	rm -f /tmp/turquois_compact_j1.txt /tmp/turquois_compact_j2.txt
 
 # causal smoke: export a traced sigma-edge run and make sure the causal
 # analyzer reconstructs tagged sends from it end to end
@@ -85,9 +99,9 @@ scale-smoke:
 
 # the gate a PR must pass: formatting, a warning-clean build, all tests,
 # the chaos smoke sweep, the parallel-pool smoke, the memo smoke, the
-# causal-trace smoke, the model-checker smoke, the workload smoke, the
-# scaling smoke and the perf regression gate
-check: fmt build test chaos pool-smoke memo-smoke causal-smoke modelcheck-smoke workload-smoke scale-smoke bench-compare
+# compact-wire smoke, the causal-trace smoke, the model-checker smoke,
+# the workload smoke, the scaling smoke and the perf regression gate
+check: fmt build test chaos pool-smoke memo-smoke compact-smoke causal-smoke modelcheck-smoke workload-smoke scale-smoke bench-compare
 
 bench:
 	dune exec bench/main.exe -- --quick

@@ -35,15 +35,17 @@ let compare_against = ref None
 let threshold = ref 0.5
 let scaling_out = ref None
 let scaling_sizes = ref Harness.Scaling.default_ns
-let scaling_cap = ref 64
+let scaling_cap = ref 128
+let scaling_radio_cap = ref 256
 let scaling_timeout = ref 30.0
 
 (* version of the JSON layouts this binary writes (summary,
    regression-gate baseline and scaling document); --compare rejects a
    baseline written by a different generation instead of mis-reading
    it. v3 added the scaling sweep document and the engine high-water
-   metrics. *)
-let bench_schema_version = 3
+   metrics; v4 added the Sampled-radio task ([radio_cap]) and the
+   minor/major allocation-word split. *)
+let bench_schema_version = 4
 
 let speclist =
   [
@@ -133,10 +135,14 @@ let speclist =
       Arg.String
         (fun s ->
           scaling_sizes := List.map int_of_string (String.split_on_char ',' s)),
-      "N,N,... group sizes for --scaling-out (default 16,64,256,1024)" );
+      "N,N,... group sizes for --scaling-out (default 16,64,128,256,1024)" );
     ( "--scaling-cap",
       Arg.Set_int scaling_cap,
-      "N largest n Turquois runs at in the scaling sweep (default 64)" );
+      "N largest n Turquois runs at in the scaling sweep (default 128)" );
+    ( "--scaling-radio-cap",
+      Arg.Set_int scaling_radio_cap,
+      "N largest n the sampled protocol runs over the contended radio at \
+       (default 256)" );
   ]
 
 let banner title =
@@ -763,12 +769,13 @@ let run_scaling_out file =
   banner "Scaling sweep: Turquois vs sample-based consensus past n=16";
   let points =
     Harness.Scaling.sweep ~jobs:!jobs ~ns:!scaling_sizes ~turquois_cap:!scaling_cap
-      ~timeout:!scaling_timeout ~seed:!seed ()
+      ~radio_cap:!scaling_radio_cap ~timeout:!scaling_timeout ~seed:!seed ()
   in
   print_string (Harness.Scaling.render points);
   let doc =
     Harness.Scaling.to_json ~schema_version:bench_schema_version ~ns:!scaling_sizes
-      ~turquois_cap:!scaling_cap ~timeout:!scaling_timeout ~seed:!seed points
+      ~turquois_cap:!scaling_cap ~radio_cap:!scaling_radio_cap
+      ~timeout:!scaling_timeout ~seed:!seed points
   in
   let oc = open_out file in
   output_string oc (Obs.Json.to_string doc);
@@ -781,15 +788,16 @@ let run_scaling_out file =
    recorded seed: coverage and timeouts must match exactly, the
    numeric fields fail on drift beyond --threshold in either direction
    (an intentional protocol change is a deliberate rebaseline), and
-   [mem_words] — a per-domain allocation delta, exact up to a small
-   cache-warmup constant — only fails on growth. *)
+   the allocation-word fields ([mem_words] and its minor/major split) —
+   per-domain allocation deltas, exact up to a small cache-warmup
+   constant — only fail on growth. *)
 let run_compare_scaling file (base : Harness.Scaling.doc) =
   banner
     (Printf.sprintf "Scaling gate: re-run sweep vs %s (threshold %.0f%%)" file
        (100.0 *. !threshold));
   let points =
     Harness.Scaling.sweep ~jobs:!jobs ~ns:base.ns ~turquois_cap:base.turquois_cap
-      ~timeout:base.timeout ~seed:base.seed ()
+      ~radio_cap:base.radio_cap ~timeout:base.timeout ~seed:base.seed ()
   in
   let failures = ref 0 in
   let fail fmt = incr failures; Printf.printf fmt in
@@ -822,15 +830,18 @@ let run_compare_scaling file (base : Harness.Scaling.doc) =
             drift "airtime_s" b.airtime p.airtime;
             drift "live_peak" (float_of_int b.live_peak) (float_of_int p.live_peak);
             drift "arena_hw" (float_of_int b.arena_hw) (float_of_int p.arena_hw);
-            let mem_rel =
-              if b.mem_words = 0 then 0.0
-              else
-                float_of_int (p.mem_words - b.mem_words)
-                /. float_of_int b.mem_words
+            let grow name bv pv =
+              let rel =
+                if bv = 0 then 0.0
+                else float_of_int (pv - bv) /. float_of_int bv
+              in
+              if rel > !threshold then
+                fail "  %s/%-12s %d -> %d  %+.1f%% — FAIL\n" tag name bv pv
+                  (100.0 *. rel)
             in
-            if mem_rel > !threshold then
-              fail "  %s/mem_words %d -> %d  %+.1f%% — FAIL\n" tag b.mem_words
-                p.mem_words (100.0 *. mem_rel)
+            grow "mem_words" b.mem_words p.mem_words;
+            grow "minor_words" b.minor_words p.minor_words;
+            grow "major_words" b.major_words p.major_words
           end)
         pairs
   | exception Invalid_argument _ ->

@@ -19,19 +19,31 @@ let load_of_table = function
   | 3 -> Net.Fault.Byzantine
   | t -> invalid_arg (Printf.sprintf "no table %d (1, 2 or 3)" t)
 
-let no_memo_arg =
-  let doc =
+(* Every experiment command takes the two wire/hot-path escape hatches
+   as one bundled term, so adding a flag here reaches all of them. *)
+let flags_arg =
+  let memo_doc =
     "Disable the single-run hot-path memoization (frame interning, proof-digest \
      cache, shared pre-distributed key material). Results are bit-identical \
      either way; this escape hatch only trades speed for simplicity when \
      timing or debugging the receive path."
   in
-  Arg.(value & flag & info [ "no-memo" ] ~doc)
+  let compact_doc =
+    "Disable delta-compressed justification bundles: every frame carries its \
+     justification messages in full instead of 8-byte back-references to \
+     messages already shipped this phase. Decisions are unaffected (see \
+     $(b,compactcheck)); frames get larger, so contended-radio timings shift."
+  in
+  let memo = Arg.(value & flag & info [ "no-memo" ] ~doc:memo_doc) in
+  let compact = Arg.(value & flag & info [ "no-compact" ] ~doc:compact_doc) in
+  Term.(const (fun no_memo no_compact -> (no_memo, no_compact)) $ memo $ compact)
 
-let apply_memo no_memo = Core.Intern.set_enabled (not no_memo)
+let apply_flags (no_memo, no_compact) =
+  Core.Intern.set_enabled (not no_memo);
+  Core.Intern.set_compact (not no_compact)
 
-let run_tables tables reps sizes seed timeout compare quiet jobs no_memo =
-  apply_memo no_memo;
+let run_tables tables reps sizes seed timeout compare quiet jobs flags =
+  apply_flags flags;
   let options =
     {
       Harness.Experiment.default_options with
@@ -92,20 +104,20 @@ let jobs_arg =
   Arg.(value & opt int (Harness.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let tables_cmd =
-  let make tables reps sizes seed timeout compare quiet jobs no_memo =
+  let make tables reps sizes seed timeout compare quiet jobs flags =
     let tables = match tables with [] -> [ 1; 2; 3 ] | l -> l in
-    run_tables tables reps sizes seed timeout compare quiet jobs no_memo
+    run_tables tables reps sizes seed timeout compare quiet jobs flags
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's latency tables (Tables 1-3)")
     Term.(
       const make $ tables_arg $ reps_arg 50 $ sizes_arg $ seed_arg $ timeout_arg
-      $ compare_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
+      $ compare_arg $ quiet_arg $ jobs_arg $ flags_arg)
 
 (* --- sigma ---------------------------------------------------------------- *)
 
-let run_sigma n k byz runs rounds beyond seed jobs no_memo =
-  apply_memo no_memo;
+let run_sigma n k byz runs rounds beyond seed jobs flags =
+  apply_flags flags;
   let k = match k with Some k -> k | None -> n - Net.Fault.max_f n in
   let byzantine = List.init byz (fun i -> n - 1 - i) in
   let rows =
@@ -138,12 +150,12 @@ let sigma_cmd =
     (Cmd.info "sigma" ~doc:"Sweep omissions per round around the sigma liveness bound")
     Term.(
       const run_sigma $ n_arg $ k_arg $ byz_arg $ runs_arg $ rounds_arg $ beyond_arg
-      $ seed_arg $ jobs_arg $ no_memo_arg)
+      $ seed_arg $ jobs_arg $ flags_arg)
 
 (* --- phases ---------------------------------------------------------------- *)
 
-let run_phases n reps seed jobs no_memo =
-  apply_memo no_memo;
+let run_phases n reps seed jobs flags =
+  apply_flags flags;
   let rows =
     Harness.Sweeps.phase_distribution ~n ~reps ~base_seed:seed ~jobs
       ~loads:[ Net.Fault.Failure_free; Net.Fault.Byzantine ] ()
@@ -155,7 +167,7 @@ let phases_cmd =
   let n_arg = Arg.(value & opt int 10 & info [ "n"; "size" ] ~docv:"N" ~doc:"Group size.") in
   Cmd.v
     (Cmd.info "phases" ~doc:"Turquois decision-phase distributions (paper 7.3)")
-    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg $ jobs_arg $ no_memo_arg)
+    Term.(const run_phases $ n_arg $ reps_arg 30 $ seed_arg $ jobs_arg $ flags_arg)
 
 (* --- messages ---------------------------------------------------------------- *)
 
@@ -241,8 +253,8 @@ let run_replay file =
       end
 
 let run_single replay protocol n divergent load seed loss trace metrics trace_json profile
-    sigma_edge jobs no_memo =
-  apply_memo no_memo;
+    sigma_edge jobs flags =
+  apply_flags flags;
   match replay with
   | Some file -> run_replay file
   | None ->
@@ -359,7 +371,7 @@ let run_cmd =
     Term.(
       const run_single $ replay_arg $ protocol_arg $ n_arg $ divergent_arg $ load_arg
       $ seed_arg $ loss_arg $ trace_arg $ metrics_arg $ trace_json_arg $ profile_arg
-      $ sigma_edge_arg $ jobs_arg $ no_memo_arg)
+      $ sigma_edge_arg $ jobs_arg $ flags_arg)
 
 (* --- chaos ------------------------------------------------------------------ *)
 
@@ -424,8 +436,8 @@ let write_repro dir ~n ~bug (f : Harness.Chaos.failure) =
   Model.Codec.save path artifact;
   Printf.printf "  wrote reproducer %s (replay: turquois_lab run --replay %s)\n" path path
 
-let run_chaos runs seed n strategy broken with_sampled repro_out quiet jobs no_memo =
-  apply_memo no_memo;
+let run_chaos runs seed n strategy broken with_sampled repro_out quiet jobs flags =
+  apply_flags flags;
   let log = if quiet then fun _ -> () else progress in
   let bug = if broken then Harness.Chaos.Flip_reported_decision else Harness.Chaos.No_bug in
   let protocols =
@@ -494,7 +506,7 @@ let chaos_cmd =
        ~doc:"Randomized fault-injection runs with safety/liveness invariant checking")
     Term.(
       const run_chaos $ runs_arg $ seed_arg $ n_arg $ strategy_arg $ broken_arg
-      $ with_sampled_arg $ repro_out_arg $ quiet_arg $ jobs_arg $ no_memo_arg)
+      $ with_sampled_arg $ repro_out_arg $ quiet_arg $ jobs_arg $ flags_arg)
 
 (* --- memocheck --------------------------------------------------------------- *)
 
@@ -574,6 +586,89 @@ let memocheck_cmd =
           memoization off and on")
     Term.(const run_memocheck $ seed_arg $ quiet_arg)
 
+(* --- compactcheck ------------------------------------------------------------ *)
+
+(* Equivalence gate for the delta-compressed wire format: the same
+   scenarios executed with compact bundles off and on must reach the
+   same decisions. Compact frames are shorter, so medium occupancy —
+   and with it latencies, phase counts and traffic totals — shifts;
+   what must NOT change is the consensus outcome itself: which correct
+   processes decide, what they decide, and that agreement and validity
+   hold. A divergence here means a justification back-reference
+   resolved to the wrong message (or silently dropped a vote that
+   mattered), which is exactly the §5e-style safety regression the
+   compression must never introduce. *)
+let run_compactcheck seed quiet =
+  let diverged = ref [] in
+  let check name equal =
+    if equal then begin
+      if not quiet then Printf.printf "  ok: %s\n%!" name
+    end
+    else begin
+      diverged := name :: !diverged;
+      Printf.printf "  DIVERGED: %s\n%!" name
+    end
+  in
+  let both f =
+    let pass compact =
+      Core.Intern.with_compact compact (fun () ->
+          Harness.Runner.clear_key_cache ();
+          f ())
+    in
+    (pass false, pass true)
+  in
+  let outcome (r : Harness.Runner.result) =
+    (List.sort compare r.decisions, List.sort compare r.correct,
+     r.agreement, r.validity, r.timed_out)
+  in
+  let run ~n ~load ?strategy ~seed () =
+    Harness.Runner.run ~protocol:Harness.Runner.Turquois ~n
+      ~dist:Harness.Runner.Divergent ~load ?strategy ~seed ()
+  in
+  List.iter
+    (fun strategy ->
+      let off, on =
+        both (fun () ->
+            run ~n:4 ~load:Net.Fault.Byzantine ~strategy ~seed ())
+      in
+      check
+        (Printf.sprintf "byzantine strategy %s" (Core.Strategy.name strategy))
+        (outcome off = outcome on))
+    Core.Strategy.all;
+  List.iter
+    (fun (name, n, load) ->
+      let off, on = both (fun () -> run ~n ~load ~seed ()) in
+      check (Printf.sprintf "%s n=%d" name n) (outcome off = outcome on))
+    [
+      ("failure-free", 4, Net.Fault.Failure_free);
+      ("failure-free", 7, Net.Fault.Failure_free);
+      ("fail-stop", 7, Net.Fault.Fail_stop);
+      ("byzantine", 10, Net.Fault.Byzantine);
+    ];
+  let chaos_off, chaos_on =
+    both (fun () -> Harness.Chaos.run_chaos ~n:4 ~runs:6 ~jobs:1 ~seed ())
+  in
+  check "chaos plan invariants" (chaos_off = chaos_on);
+  if !diverged = [] then begin
+    Printf.printf
+      "compactcheck: decisions identical with compact bundles off and on\n";
+    0
+  end
+  else begin
+    Printf.printf "compactcheck: %d divergence(s): %s\n" (List.length !diverged)
+      (String.concat ", " (List.rev !diverged));
+    1
+  end
+
+let compactcheck_cmd =
+  Cmd.v
+    (Cmd.info "compactcheck"
+       ~doc:
+         "Verify the wire-compression contract: every scenario reaches the \
+          same decisions with delta-compressed justification bundles off and \
+          on")
+    Term.(const run_compactcheck $ seed_arg $ quiet_arg)
+
 (* --- workload ---------------------------------------------------------------- *)
 
 let arrival_conv =
@@ -595,8 +690,8 @@ let arrival_conv =
   Arg.conv (parse, print)
 
 let run_workload n capacity window max_batch loads arrival commands cmd_bytes loss reps seed
-    timeout jobs no_memo =
-  apply_memo no_memo;
+    timeout jobs flags =
+  apply_flags flags;
   match
     let base =
     {
@@ -685,14 +780,14 @@ let workload_cmd =
     Term.(
       const run_workload $ n_arg $ capacity_arg $ window_arg $ max_batch_arg $ loads_arg
       $ arrival_arg $ commands_arg $ cmd_bytes_arg $ loss_arg $ reps_arg 3 $ seed_arg
-      $ timeout_arg $ jobs_arg $ no_memo_arg)
+      $ timeout_arg $ jobs_arg $ flags_arg)
 
 (* --- scaling ------------------------------------------------------------------ *)
 
-let run_scaling sizes turquois_cap timeout seed jobs no_memo =
-  apply_memo no_memo;
+let run_scaling sizes turquois_cap radio_cap timeout seed jobs flags =
+  apply_flags flags;
   match
-    Harness.Scaling.sweep ~jobs ~ns:sizes ~turquois_cap ~timeout ~seed ()
+    Harness.Scaling.sweep ~jobs ~ns:sizes ~turquois_cap ~radio_cap ~timeout ~seed ()
   with
   | points ->
       (* stdout is a deterministic function of the arguments (memory is
@@ -709,10 +804,16 @@ let scaling_cmd =
          & info [ "sizes" ] ~docv:"N,..." ~doc:"Group sizes to sweep.")
   in
   let turquois_cap_arg =
-    Arg.(value & opt int 64
+    Arg.(value & opt int 128
          & info [ "turquois-cap" ] ~docv:"N"
              ~doc:"Largest n at which the all-to-all Turquois baseline still runs \
                    (0 disables it).")
+  in
+  let radio_cap_arg =
+    Arg.(value & opt int 256
+         & info [ "radio-cap" ] ~docv:"N"
+             ~doc:"Largest n at which the sampled protocol also runs over the \
+                   contended 802.11b stack (0 disables that task).")
   in
   let timeout_arg =
     Arg.(value & opt float 30.0
@@ -725,14 +826,14 @@ let scaling_cmd =
           consensus at n = 16..1024, with latency, traffic, airtime and engine \
           high-water marks per point")
     Term.(
-      const run_scaling $ sizes_arg $ turquois_cap_arg $ timeout_arg $ seed_arg
-      $ jobs_arg $ no_memo_arg)
+      const run_scaling $ sizes_arg $ turquois_cap_arg $ radio_cap_arg
+      $ timeout_arg $ seed_arg $ jobs_arg $ flags_arg)
 
 (* --- modelcheck -------------------------------------------------------------- *)
 
 let run_modelcheck n k byz budget exact rounds strategies divergent seed jobs max_states out
-    quiet no_memo =
-  apply_memo no_memo;
+    quiet flags =
+  apply_flags flags;
   let log = if quiet then fun _ -> () else progress in
   let byzantine = Option.map (fun t -> List.init t (fun i -> n - 1 - i)) byz in
   let dist = if divergent then Some Harness.Runner.Divergent else None in
@@ -849,7 +950,7 @@ let modelcheck_cmd =
     Term.(
       const run_modelcheck $ n_arg $ k_arg $ byz_arg $ budget_arg $ exact_arg $ rounds_arg
       $ strategies_arg $ divergent_arg $ seed_arg $ jobs_arg $ max_states_arg $ out_arg
-      $ quiet_arg $ no_memo_arg)
+      $ quiet_arg $ flags_arg)
 
 (* --- analyze ---------------------------------------------------------------- *)
 
@@ -941,6 +1042,7 @@ let main_cmd =
       scaling_cmd;
       chaos_cmd;
       memocheck_cmd;
+      compactcheck_cmd;
       modelcheck_cmd;
       analyze_cmd;
     ]

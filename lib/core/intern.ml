@@ -38,46 +38,81 @@ let with_memo flag f =
   set_enabled flag;
   Fun.protect ~finally:(fun () -> set_enabled previous) f
 
+(* Delta-compressed justification bundles ([--no-compact] escape
+   hatch). A sender-side switch only: receivers always accept both wire
+   formats, so flipping it never strands in-flight frames. *)
+let compact_flag = Atomic.make true
+let compact_enabled () = Atomic.get compact_flag
+let set_compact v = Atomic.set compact_flag v
+
+let with_compact flag f =
+  let previous = compact_enabled () in
+  set_compact flag;
+  Fun.protect ~finally:(fun () -> set_compact previous) f
+
 type caches = {
-  decodes : (bytes, Message.envelope) Hashtbl.t;
+  decodes : (bytes, Message.wire) Hashtbl.t;
   digests : (bytes, bytes) Hashtbl.t;
+  msg_digests : (Message.t, bytes) Hashtbl.t;
 }
 
 let caches_key : caches Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { decodes = Hashtbl.create 64; digests = Hashtbl.create 256 })
+      {
+        decodes = Hashtbl.create 64;
+        digests = Hashtbl.create 256;
+        msg_digests = Hashtbl.create 256;
+      })
 
 let clear () =
   let c = Domain.DLS.get caches_key in
   Hashtbl.reset c.decodes;
-  Hashtbl.reset c.digests
+  Hashtbl.reset c.digests;
+  Hashtbl.reset c.msg_digests
 
 let () = Obs.Scope.at_run_start clear
 
 let decode_unprofiled payload =
-  if not (enabled ()) then Message.decode payload
+  if not (enabled ()) then Message.decode_wire payload
   else begin
     let c = Domain.DLS.get caches_key in
     match Hashtbl.find_opt c.decodes payload with
-    | Some envelope ->
+    | Some wi ->
         Obs.Metrics.incr "codec.decode.memo_hit";
-        envelope
+        wi
     | None ->
         (* malformed payloads raise out before reaching the table *)
-        let envelope = Message.decode payload in
+        let wi = Message.decode_wire payload in
         Obs.Metrics.incr "codec.decode.memo_miss";
         (* key copied defensively: the table must never alias a buffer
            a caller could later mutate *)
-        Hashtbl.add c.decodes (Bytes.copy payload) envelope;
-        envelope
+        Hashtbl.add c.decodes (Bytes.copy payload) wi;
+        wi
   end
 
 (* profiled wrapper; a malformed payload raises out without a sample *)
-let decode payload =
+let decode_wire payload =
   let sp = Obs.Prof.start () in
-  let envelope = decode_unprofiled payload in
+  let wi = decode_unprofiled payload in
   Obs.Prof.stop Obs.Prof.decode sp;
-  envelope
+  wi
+
+(* Content addresses for compact justification entries. The digest is a
+   pure function of the message bytes, so the memo is unpoisonable for
+   the same reason the proof-digest memo is; callers treat the returned
+   buffer as immutable (it is shared between the table, [Ref] entries
+   and the shipped/resolution sets). *)
+let message_digest m =
+  if not (enabled ()) then Message.msg_digest m
+  else begin
+    let c = Domain.DLS.get caches_key in
+    match Hashtbl.find_opt c.msg_digests m with
+    | Some d -> d
+    | None ->
+        let d = Message.msg_digest m in
+        Hashtbl.add c.msg_digests m d;
+        d
+  end
 
 let memo_digest proof =
   let c = Domain.DLS.get caches_key in

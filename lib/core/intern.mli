@@ -21,11 +21,26 @@ val with_memo : bool -> (unit -> 'a) -> 'a
 (** Runs the thunk with the switch forced to the given value, restoring
     the previous setting afterwards (also on exceptions). *)
 
-val decode : bytes -> Message.envelope
-(** {!Message.decode} through the payload memo (verbatim fallback when
-    disabled). Raises exactly what [Message.decode] raises; malformed
-    payloads are never cached. Emits [codec.decode.memo_hit]/[_miss]
-    counters when enabled. *)
+val compact_enabled : unit -> bool
+val set_compact : bool -> unit
+(** Sender-side switch for delta-compressed justification bundles
+    ([--no-compact] on the CLI; default on). Receivers accept both wire
+    formats regardless, so flipping it never strands in-flight frames.
+    Flip only between runs, from the coordinating domain. *)
+
+val with_compact : bool -> (unit -> 'a) -> 'a
+(** Runs the thunk with the compact switch forced to the given value,
+    restoring the previous setting afterwards (also on exceptions). *)
+
+val decode_wire : bytes -> Message.wire
+(** {!Message.decode_wire} through the payload memo (verbatim fallback
+    when disabled). Raises exactly what [Message.decode_wire] raises;
+    malformed payloads are never cached. Emits
+    [codec.decode.memo_hit]/[_miss] counters when enabled. *)
+
+val message_digest : Message.t -> bytes
+(** {!Message.msg_digest} through a per-run memo (verbatim fallback when
+    disabled). Callers must treat the returned buffer as immutable. *)
 
 val check_message : Keyring.t -> Message.t -> bool
 (** {!Keyring.check_message} with proof hashing routed through the

@@ -9,6 +9,25 @@ type stats = {
 
 type behavior = Correct | Attacker | Byzantine of Strategy.t
 
+(* Everything the emitted broadcast of a Correct/Attacker machine is a
+   function of. While the key is unchanged, re-emitting rebuilds the
+   exact same envelope — so it is memoized instead (skipping the
+   re-sign and the justification rebuild). Byzantine strategies draw
+   from the rng and are never memoized. *)
+type emit_key = {
+  ek_phase : int;
+  ek_value : int;
+  ek_origin : int;
+  ek_status : int;
+  ek_vset_version : int;
+  ek_dq_phase : int;  (* -1 when none *)
+}
+
+let emit_key_equal a b =
+  a.ek_phase = b.ek_phase && a.ek_value = b.ek_value && a.ek_origin = b.ek_origin
+  && a.ek_status = b.ek_status && a.ek_vset_version = b.ek_vset_version
+  && a.ek_dq_phase = b.ek_dq_phase
+
 type t = {
   cfg : Proto.config;
   keyring : Keyring.t;
@@ -31,6 +50,26 @@ type t = {
      the rng position, making {!fingerprint} capture the machine's full
      future behavior without serializing generator internals *)
   mutable coin_flips : int;
+  (* emitted-broadcast memos, one per justification flavor (the stuck
+     rebroadcast alternates justified/plain, so a single slot would
+     thrash) *)
+  mutable emit_memo_plain : (emit_key * Message.envelope) option;
+  mutable emit_memo_justified : (emit_key * Message.envelope) option;
+  (* sender-side delta-compression window ({!encode_envelope}):
+     content digests already shipped inside this phase, plus the
+     keyframe counter that bounds how long a receiver that missed the
+     full copy keeps dropping references to it *)
+  shipped : (bytes, unit) Hashtbl.t;
+  mutable shipped_phase : int;
+  mutable since_keyframe : int;
+  (* last all-references encoding, reusable while the envelope is
+     physically unchanged *)
+  mutable enc_cache : (Message.envelope * bytes) option;
+  (* receiver-side resolution cache for compact references: local
+     content digest -> the message it addresses. Filled from every full
+     entry this machine decodes, so it is exactly as trustworthy as the
+     frames themselves (authentication still happens in [handle]). *)
+  resolve : (bytes, Message.t) Hashtbl.t;
 }
 
 let id t = Keyring.owner t.keyring
@@ -64,6 +103,13 @@ let create cfg ~keyring ~rng ?(behavior = Correct) ~proposal () =
     decided_claims = Hashtbl.create 16;
     stats = { accepted = 0; rejected_auth = 0; duplicates = 0; pending_peak = 0 };
     coin_flips = 0;
+    emit_memo_plain = None;
+    emit_memo_justified = None;
+    shipped = Hashtbl.create 64;
+    shipped_phase = 0;
+    since_keyframe = 0;
+    enc_cache = None;
+    resolve = Hashtbl.create 64;
   }
 
 (* Keyrings are immutable after setup and shared between clones; every
@@ -94,6 +140,13 @@ let clone t =
         pending_peak = t.stats.pending_peak;
       };
     coin_flips = t.coin_flips;
+    emit_memo_plain = t.emit_memo_plain;
+    emit_memo_justified = t.emit_memo_justified;
+    shipped = Hashtbl.copy t.shipped;
+    shipped_phase = t.shipped_phase;
+    since_keyframe = t.since_keyframe;
+    enc_cache = t.enc_cache;
+    resolve = Hashtbl.copy t.resolve;
   }
 
 (* Canonical serialization of everything that shapes future behavior:
@@ -135,12 +188,16 @@ let fingerprint t =
                (match m.origin with Proto.Deterministic -> 0 | Proto.Random -> 1)
                (match m.status with Proto.Undecided -> 0 | Proto.Decided -> 1)))
         (Hashtbl.find t.pending key))
-    (List.sort compare pending_keys);
+    (List.sort
+       (fun (s1, p1) (s2, p2) ->
+         if s1 <> s2 then Int.compare s1 s2 else Int.compare p1 p2)
+       pending_keys);
   Buffer.add_string buf "|C:";
   let claims = Hashtbl.fold (fun sender v acc -> (sender, v) :: acc) t.decided_claims [] in
   List.iter
     (fun (sender, v) -> Buffer.add_string buf (Printf.sprintf "%d=%d;" sender v))
-    (List.sort compare claims);
+    (* senders are unique keys, so ordering by sender alone is total *)
+    (List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) claims);
   Buffer.contents buf
 
 (* --- outgoing ----------------------------------------------------------- *)
@@ -237,7 +294,9 @@ let build_justification t =
       | None -> ()
     end);
   Hashtbl.fold (fun _ m acc -> m :: acc) selected []
-  |> List.sort (fun (a : Message.t) (b : Message.t) -> compare (a.phase, a.sender) (b.phase, b.sender))
+  |> List.sort (fun (a : Message.t) (b : Message.t) ->
+         if a.phase <> b.phase then Int.compare a.phase b.phase
+         else Int.compare a.sender b.sender)
 
 type transmission =
   | Quiet
@@ -309,16 +368,40 @@ let emit t ~justify =
     match t.behavior with
     | Correct | Attacker ->
         let value, origin, status = wire_fields t in
-        let proof = Keyring.sign t.keyring ~phase:t.phase_i ~value ~origin in
-        let msg =
-          { Message.sender = id t; phase = t.phase_i; value; origin; status; proof }
+        let key =
+          {
+            ek_phase = t.phase_i;
+            ek_value = Proto.value_to_int value;
+            ek_origin = (match origin with Proto.Deterministic -> 0 | Proto.Random -> 1);
+            ek_status = (match status with Proto.Undecided -> 0 | Proto.Decided -> 1);
+            ek_vset_version = Vset.version t.v;
+            ek_dq_phase = Option.value ~default:(-1) t.decided_quorum_phase;
+          }
         in
-        let justification = if justify then build_justification t else [] in
-        t.last_broadcast <- Some (t.phase_i, value, status);
-        (* a correct process trusts its own state: V gets the message
-           directly (any loopback copy is deduplicated) *)
-        ignore (Vset.add t.v msg);
-        Broadcast { Message.msg; justification }
+        let memo = if justify then t.emit_memo_justified else t.emit_memo_plain in
+        (match memo with
+        | Some (k, env) when emit_key_equal k key ->
+            (* nothing the envelope depends on changed since it was
+               built: reuse it verbatim (its message is already in V) *)
+            t.last_broadcast <- Some (t.phase_i, value, status);
+            Broadcast env
+        | Some _ | None ->
+            let proof = Keyring.sign t.keyring ~phase:t.phase_i ~value ~origin in
+            let msg =
+              { Message.sender = id t; phase = t.phase_i; value; origin; status; proof }
+            in
+            let justification = if justify then build_justification t else [] in
+            t.last_broadcast <- Some (t.phase_i, value, status);
+            (* a correct process trusts its own state: V gets the message
+               directly (any loopback copy is deduplicated) *)
+            ignore (Vset.add t.v msg);
+            let env = { Message.msg; justification } in
+            (* keyed on the post-insert version so the very next
+               unchanged-state emit already hits *)
+            let entry = Some ({ key with ek_vset_version = Vset.version t.v }, env) in
+            if justify then t.emit_memo_justified <- entry
+            else t.emit_memo_plain <- entry;
+            Broadcast env)
     | Byzantine strategy -> emit_strategy t strategy ~justify
 
 let emit_as t ~strategy ~justify =
@@ -481,7 +564,7 @@ let drain_pending t =
     progress := false;
     let candidates =
       Hashtbl.fold (fun key msgs acc -> (key, msgs) :: acc) t.pending []
-      |> List.sort (fun ((_, p1), _) ((_, p2), _) -> compare p1 p2)
+      |> List.sort (fun ((_, p1), _) ((_, p2), _) -> Int.compare p1 p2)
     in
     List.iter
       (fun (key, msgs) ->
@@ -549,3 +632,75 @@ let handle t { Message.msg; justification } =
   let new_claims = Hashtbl.length t.decided_claims > claims_before in
   let events = if admitted || new_claims then update_state t else [] in
   (events, !auth_checks)
+
+(* --- delta-compressed frames -------------------------------------------- *)
+
+(* Every [keyframe_every]-th justified encode of a phase ships all
+   entries in full again. Replaced-in-queue or collision-lost frames can
+   leave receivers without the full copy a later reference needs; the
+   keyframe bounds that blackout to at most three justified sends. *)
+let keyframe_every = 4
+
+let encode_justified t (env : Message.envelope) =
+  (* the shipped window is per phase: references only ever point at
+     entries shipped since this machine last changed phase *)
+  if t.shipped_phase <> t.phase_i then begin
+    Hashtbl.reset t.shipped;
+    t.shipped_phase <- t.phase_i;
+    t.since_keyframe <- 0;
+    t.enc_cache <- None
+  end;
+  let keyframe = t.since_keyframe mod keyframe_every = 0 in
+  t.since_keyframe <- t.since_keyframe + 1;
+  match t.enc_cache with
+  | Some (cached, b) when (not keyframe) && cached == env && not (Obs.Trace2.enabled ()) ->
+      (* same envelope, window unchanged: every entry is still a
+         shipped reference, so the previous wire bytes are exact.
+         (Skipped under causal tracing, which identifies frames by
+         physical payload: each send must then own fresh bytes.) *)
+      b
+  | Some _ | None ->
+      let all_refs = ref true in
+      let wjust =
+        List.map
+          (fun m ->
+            let d = Intern.message_digest m in
+            if (not keyframe) && Hashtbl.mem t.shipped d then Message.Ref d
+            else begin
+              Hashtbl.replace t.shipped d ();
+              all_refs := false;
+              Message.Full m
+            end)
+          env.Message.justification
+      in
+      let b = Message.encode_wire { Message.wmsg = env.Message.msg; wjust } in
+      t.enc_cache <- (if !all_refs then Some (env, b) else None);
+      b
+
+let encode_envelope t (env : Message.envelope) =
+  if (not (Intern.compact_enabled ())) || env.Message.justification = [] then
+    Message.encode env
+  else encode_justified t env
+
+let handle_wire t (wi : Message.wire) =
+  let remember (m : Message.t) = Hashtbl.replace t.resolve (Intern.message_digest m) m in
+  let justification =
+    (* in order: a full entry becomes resolvable to any reference after
+       it, including inside this same frame *)
+    List.filter_map
+      (function
+        | Message.Full m ->
+            remember m;
+            Some m
+        | Message.Ref d -> (
+            match Hashtbl.find_opt t.resolve d with
+            | Some m -> Some m
+            | None ->
+                (* nothing this digest could be has reached us yet; the
+                   sender's next keyframe retransmits it in full *)
+                Obs.Metrics.incr "compact.unresolved";
+                None))
+      wi.Message.wjust
+  in
+  remember wi.Message.wmsg;
+  handle t { Message.msg = wi.Message.wmsg; justification }

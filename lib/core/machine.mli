@@ -94,6 +94,27 @@ val handle : t -> Message.envelope -> event list * int
     and the number of hash verifications performed (for CPU-cost
     accounting by the shell). *)
 
+val encode_envelope : t -> Message.envelope -> bytes
+(** The envelope's wire bytes, delta-compressed against this machine's
+    per-phase shipped window when {!Intern.compact_enabled}: a
+    justification entry already shipped since the last phase change goes
+    out as its 8-byte content digest instead of in full, and every 4th
+    justified encode of a phase is a keyframe shipping everything in
+    full again (bounding the blackout of receivers that missed a full
+    copy). Falls back to the plain format — byte-identical but for the
+    format byte — when compaction is off or the bundle is empty. Repeat
+    encodes of the physically same envelope reuse the previous buffer
+    (except under causal tracing, which needs per-send bytes). *)
+
+val handle_wire : t -> Message.wire -> event list * int
+(** {!handle} after resolving compact references against this machine's
+    content-addressed cache, which remembers every full entry it has
+    decoded (digests are computed locally, so the cache is exactly as
+    trustworthy as the frames themselves — authentication still happens
+    per message in [handle]). An unresolvable reference is dropped and
+    counted under the [compact.unresolved] metric; the sender's next
+    keyframe retransmits it in full. *)
+
 val same_state_as_last_broadcast : t -> bool
 (** True when the state to broadcast equals the previously broadcast
     one — the trigger for attaching explicit justification (§6.2). *)

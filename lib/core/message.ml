@@ -56,23 +56,6 @@ let read_msg r =
   let proof = Util.Codec.R.bytes_lp r in
   { sender; phase; value; origin; status; proof }
 
-let encode env =
-  Util.Codec.W.with_scratch (fun w ->
-      write_msg w env.msg;
-      Util.Codec.W.u16 w (List.length env.justification);
-      List.iter (write_msg w) env.justification)
-
-let decode b =
-  let r = Util.Codec.R.of_bytes b in
-  let msg = read_msg r in
-  let count = Util.Codec.R.u16 r in
-  (* the closure advances the reader: application order must be pinned *)
-  let justification = Util.Init.list count (fun _ -> read_msg r) in
-  Util.Codec.R.expect_end r;
-  { msg; justification }
-
-let encoded_size env = Bytes.length (encode env)
-
 let msg_to_bytes m = Util.Codec.W.with_scratch (fun w -> write_msg w m)
 
 let msg_of_bytes b =
@@ -80,3 +63,76 @@ let msg_of_bytes b =
   let m = read_msg r in
   Util.Codec.R.expect_end r;
   m
+
+let digest_bytes = 8
+
+let msg_digest m = Bytes.sub (Crypto.Sha256.digest (msg_to_bytes m)) 0 digest_bytes
+
+(* Wire formats. A frame starts with a format byte:
+   0 — plain: the message followed by full justification entries;
+   1 — compact: each justification entry is tagged, either a full
+       message or an 8-byte truncated content digest of one the sender
+       already shipped this phase (delta compression, resolved against
+       the receiver's content-addressed cache).
+   Compact encoding falls back to format 0 whenever every entry is
+   full, so plain traffic pays only the format byte. *)
+
+type entry = Full of t | Ref of bytes
+
+type wire = { wmsg : t; wjust : entry list }
+
+let encode_wire wi =
+  let all_full = List.for_all (function Full _ -> true | Ref _ -> false) wi.wjust in
+  Util.Codec.W.with_scratch (fun w ->
+      Util.Codec.W.u8 w (if all_full then 0 else 1);
+      write_msg w wi.wmsg;
+      Util.Codec.W.u16 w (List.length wi.wjust);
+      List.iter
+        (fun entry ->
+          match entry with
+          | Full m ->
+              if not all_full then Util.Codec.W.u8 w 0;
+              write_msg w m
+          | Ref d ->
+              assert (Bytes.length d = digest_bytes);
+              Util.Codec.W.u8 w 1;
+              Util.Codec.W.bytes w d)
+        wi.wjust)
+
+let decode_wire b =
+  let r = Util.Codec.R.of_bytes b in
+  let format =
+    match Util.Codec.R.u8 r with
+    | (0 | 1) as f -> f
+    | f -> raise (Util.Codec.Malformed (Printf.sprintf "unknown frame format %d" f))
+  in
+  let wmsg = read_msg r in
+  let count = Util.Codec.R.u16 r in
+  (* the closure advances the reader: application order must be pinned *)
+  let wjust =
+    Util.Init.list count (fun _ ->
+        if format = 0 then Full (read_msg r)
+        else
+          match Util.Codec.R.u8 r with
+          | 0 -> Full (read_msg r)
+          | 1 -> Ref (Util.Codec.R.bytes r digest_bytes)
+          | t -> raise (Util.Codec.Malformed (Printf.sprintf "unknown entry tag %d" t)))
+  in
+  Util.Codec.R.expect_end r;
+  { wmsg; wjust }
+
+let encode env =
+  encode_wire { wmsg = env.msg; wjust = List.map (fun m -> Full m) env.justification }
+
+let decode b =
+  let wi = decode_wire b in
+  let justification =
+    List.map
+      (function
+        | Full m -> m
+        | Ref _ -> raise (Util.Codec.Malformed "unresolved compact reference"))
+      wi.wjust
+  in
+  { msg = wi.wmsg; justification }
+
+let encoded_size env = Bytes.length (encode env)

@@ -31,10 +31,39 @@ val describe : t -> string
 type envelope = { msg : t; justification : t list }
 
 val encode : envelope -> bytes
+(** Plain (format 0) frame: every justification entry in full. *)
+
 val decode : bytes -> envelope
-(** @raise Util.Codec.Malformed / Truncated on garbage. *)
+(** @raise Util.Codec.Malformed / Truncated on garbage, including a
+    compact frame whose references would need receiver-side resolution
+    (use {!decode_wire} + {!Machine.handle_wire} for those). *)
 
 val encoded_size : envelope -> int
 
 val msg_to_bytes : t -> bytes
 val msg_of_bytes : bytes -> t
+
+val digest_bytes : int
+(** 8 — the truncated content-digest width of compact references. *)
+
+val msg_digest : t -> bytes
+(** Truncated SHA-256 of {!msg_to_bytes}: the content address compact
+    justification entries refer to. Covers the proof bytes, so two
+    differently-signed copies of one header never share an address. *)
+
+(** A justification entry as it travels: either the message itself or
+    the content digest of one the sender already shipped this phase. *)
+type entry = Full of t | Ref of bytes
+
+(** A frame as it travels: the message plus its (possibly
+    delta-compressed) justification bundle. *)
+type wire = { wmsg : t; wjust : entry list }
+
+val encode_wire : wire -> bytes
+(** Emits the plain format when every entry is [Full] (costing only the
+    format byte over the pre-compact layout), the tagged compact format
+    otherwise. *)
+
+val decode_wire : bytes -> wire
+(** Accepts both formats.
+    @raise Util.Codec.Malformed / Truncated on garbage. *)

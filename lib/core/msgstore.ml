@@ -1,0 +1,56 @@
+(* Per-run flat message store: every distinct message interned once.
+
+   The radio fan-out already shares one decoded [Message.t] per frame
+   across receivers, but justification bundles re-embed the same
+   messages in many different frames, so each receiver used to hold a
+   private structurally-equal copy (header plus 32 proof bytes) per
+   bundle appearance. Interning collapses them: [Vset] rows store
+   compact indices into this append-only store instead of message
+   pointers, and structurally equal messages map to one index — the
+   lib/scale [Arena] idea applied to protocol messages, without the
+   free list (consensus messages are never released inside a run).
+
+   The store is domain-local and re-bound (not reset in place) at every
+   run boundary: a [Vset] captures the store object at creation time,
+   so sets that outlive their run scope — the model checker clones
+   machines across enumeration branches — keep resolving against the
+   store they were built on while new runs start from an empty one.
+   Indices are private to the capturing structures and never compared
+   across stores. *)
+
+type t = {
+  mutable slots : Message.t array;
+  mutable len : int;
+  index : (Message.t, int) Hashtbl.t;
+      (* structural hash/equality cover every field including the proof
+         bytes, so two messages differing anywhere intern separately *)
+}
+
+let create () = { slots = [||]; len = 0; index = Hashtbl.create 256 }
+
+let size t = t.len
+
+let get t idx =
+  if idx < 1 || idx > t.len then invalid_arg "Msgstore.get: index out of range";
+  t.slots.(idx - 1)
+
+(* Indices are 1-based so that 0 stays free as the "empty slot" marker
+   of the flat Vset rows. *)
+let intern t (m : Message.t) =
+  match Hashtbl.find_opt t.index m with
+  | Some idx -> idx
+  | None ->
+      if t.len = Array.length t.slots then begin
+        let cap = max 64 (2 * Array.length t.slots) in
+        let slots = Array.make cap m in
+        Array.blit t.slots 0 slots 0 t.len;
+        t.slots <- slots
+      end;
+      t.slots.(t.len) <- m;
+      t.len <- t.len + 1;
+      Hashtbl.add t.index m t.len;
+      t.len
+
+let store_key : t Domain.DLS.key = Domain.DLS.new_key create
+let current () = Domain.DLS.get store_key
+let () = Obs.Scope.at_run_start (fun () -> Domain.DLS.set store_key (create ()))

@@ -1,0 +1,29 @@
+(** Per-run flat message store backing {!Vset}.
+
+    Each structurally distinct {!Message.t} is interned once per run
+    (per domain); {!Vset} rows hold the resulting compact 1-based
+    indices instead of message pointers, so the many appearances of one
+    justification message across frames and receivers collapse onto a
+    single stored copy. The store is append-only — index 0 never
+    allocated, valid indices never invalidated — and the domain-local
+    current store is {e re-bound} to a fresh one at every
+    {!Obs.Scope.with_run} boundary, so structures holding a store
+    reference (e.g. model-checker clones) stay valid across runs. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> Message.t -> int
+(** The 1-based index of [m], allocating one if the exact message
+    (proof bytes included) was not seen before. *)
+
+val get : t -> int -> Message.t
+(** @raise Invalid_argument on an index never returned by [intern]. *)
+
+val size : t -> int
+(** Number of distinct messages interned — the flat-arena high-water
+    mark reported by the scaling sweep. *)
+
+val current : unit -> t
+(** This domain's current per-run store ({!Vset.create} captures it). *)

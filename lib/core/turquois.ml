@@ -1,6 +1,14 @@
-type tick_policy = Fixed_tick | Adaptive_tick of { floor : float; factor : float }
+type tick_policy =
+  | Fixed_tick
+  | Adaptive_tick of { floor : float; factor : float }
+  | Mac_aware of { floor : float; headroom : float; cap : float }
 
 let default_adaptive = Adaptive_tick { floor = 2.5e-3; factor = 0.5 }
+
+(* headroom 0.25: rebroadcast about four times per phase's worth of
+   observed channel occupancy — often enough to recover from collision
+   loss, rare enough never to outrun the medium *)
+let default_mac_aware = Mac_aware { floor = 2.5e-3; headroom = 0.25; cap = 0.5 }
 
 type auth_cost = Onetime_cost | Rsa_cost
 
@@ -30,6 +38,9 @@ type t = {
   mutable stuck_ticks : int;
   mutable ticks_since_decision : int;
   mutable current_tick : float;
+  (* cumulative radio airtime at this node's last phase change — the
+     Mac_aware policy derives its tick from the delta *)
+  mutable airtime_mark : float;
   mutable tick_handle : Net.Engine.handle option;
   mutable started : bool;
   mutable decide_cb : (value:int -> phase:int -> unit) option;
@@ -64,7 +75,10 @@ let create node cfg ~keyring ?(behavior = Correct) ?(port = 443)
   | Fixed_tick -> ()
   | Adaptive_tick { floor; factor } ->
       if floor <= 0.0 || factor <= 0.0 || factor >= 1.0 then
-        invalid_arg "Turquois.create: bad adaptive tick parameters");
+        invalid_arg "Turquois.create: bad adaptive tick parameters"
+  | Mac_aware { floor; headroom; cap } ->
+      if floor <= 0.0 || headroom <= 0.0 || cap < floor then
+        invalid_arg "Turquois.create: bad mac-aware tick parameters");
   let machine =
     Machine.create cfg ~keyring ~rng:(Net.Node.rng node) ~behavior ~proposal ()
   in
@@ -79,6 +93,7 @@ let create node cfg ~keyring ?(behavior = Correct) ?(port = 443)
     stuck_ticks = 0;
     ticks_since_decision = 0;
     current_tick = cfg.tick_interval;
+    airtime_mark = 0.0;
     tick_handle = None;
     started = false;
     decide_cb = None;
@@ -112,7 +127,7 @@ let broadcast_state t ~justify =
   | Machine.Quiet -> ()  (* key horizon exhausted, or a silent strategy *)
   | Machine.Broadcast envelope ->
       count_broadcast t envelope;
-      let bytes = Message.encode envelope in
+      let bytes = Machine.encode_envelope t.machine envelope in
       let mid =
         (* causal id minted at the broadcast site; lower layers alias it
            onto their re-encodings so radio events can name the message *)
@@ -133,7 +148,15 @@ let broadcast_state t ~justify =
            ("justifying", Obs.Trace2.I (List.length envelope.justification));
          ]
         @ mid);
-      Net.Node.broadcast t.node ~port:t.port bytes
+      (* a queued-but-unsent frame of the same flavor is superseded in
+         place: under contention the newest state replaces the stale
+         one instead of queueing behind it. Plain and justified frames
+         get distinct tags — a plain rebroadcast must never evict a
+         queued justification bundle. *)
+      let tag =
+        (2 * t.port) + if envelope.Message.justification = [] then 0 else 1
+      in
+      Net.Node.broadcast_latest t.node ~tag ~port:t.port bytes
   | Machine.Per_receiver frames ->
       (* equivocation: ship each receiver its private copy as a unicast
          so nobody overhears the contradicting frame. The copies fall
@@ -196,6 +219,7 @@ and on_tick t =
     let justify = stuck && t.stuck_ticks mod 2 = 1 in
     (match t.tick_policy with
     | Fixed_tick -> ()
+    | Mac_aware _ -> ()  (* paced from observed airtime at phase changes *)
     | Adaptive_tick { floor; factor } ->
         t.current_tick <-
           (if stuck then Float.max floor (t.current_tick *. factor)
@@ -226,8 +250,23 @@ let react t events =
     events;
   if !phase_changed then begin
     (* a phase change triggers an immediate clock tick (§7.1) and, for
-       the adaptive policy, resets the pacing *)
-    t.current_tick <- t.cfg.tick_interval;
+       the adaptive policies, resets the pacing *)
+    (match t.tick_policy with
+    | Fixed_tick | Adaptive_tick _ -> t.current_tick <- t.cfg.tick_interval
+    | Mac_aware { floor; headroom; cap } ->
+        (* the channel occupancy this phase took to clear is the best
+           available estimate of how long the next one will take: pace
+           the rebroadcast clock as a fraction of it *)
+        let air = (Net.Radio.stats (Net.Mac.radio (Net.Node.mac t.node))).Net.Radio.airtime in
+        let observed = air -. t.airtime_mark in
+        t.airtime_mark <- air;
+        (* adapt upward only: the policy exists to stop rebroadcasts
+           from outrunning a busy medium at large n, never to tick
+           faster than the configured (paper-faithful) interval — so
+           small-n timing is identical to [Fixed_tick] *)
+        let lo = Float.max floor t.cfg.tick_interval in
+        if observed > 0.0 then
+          t.current_tick <- Float.min cap (Float.max lo (headroom *. observed)));
     broadcast_state t ~justify:false;
     arm_tick t
   end
@@ -235,10 +274,10 @@ let react t events =
 let on_datagram t ~src:_ payload =
   (* broadcast deliveries re-materialize the same payload bytes at each
      receiver; Intern memoizes the decode per run *)
-  match Intern.decode payload with
+  match Intern.decode_wire payload with
   | exception (Util.Codec.Malformed _ | Util.Codec.Truncated) -> ()
-  | envelope ->
-      let events, auth_checks = Machine.handle t.machine envelope in
+  | wire ->
+      let events, auth_checks = Machine.handle_wire t.machine wire in
       let per_check =
         match t.auth_cost with
         | Onetime_cost -> Net.Cost.onetime_check

@@ -20,13 +20,27 @@
     optimization: while the state does not change, the tick interval
     backs {e down} multiplicatively to [floor] (faster recovery of lost
     messages); any phase change resets it to the configured interval.
-    The ablation benchmark quantifies the difference. *)
+    The ablation benchmark quantifies the difference.
+
+    [Mac_aware] paces from the medium instead of a preset schedule: at
+    every own phase change it reads the radio's cumulative airtime, and
+    sets the tick to [headroom] times the channel occupancy the finished
+    phase consumed, clamped to [[max floor tick_interval, cap]] — it
+    only ever adapts {e upward} from the configured interval, so a
+    16-station network keeps the paper's exact 10 ms timing while 64 or
+    128 stations — whose phases take hundreds of milliseconds of
+    airtime to clear — back off proportionally instead of flooding the
+    medium with retransmissions it cannot carry. *)
 type tick_policy =
   | Fixed_tick
   | Adaptive_tick of { floor : float; factor : float }
+  | Mac_aware of { floor : float; headroom : float; cap : float }
 
 val default_adaptive : tick_policy
 (** Floor 2.5 ms, factor 0.5. *)
+
+val default_mac_aware : tick_policy
+(** Floor 2.5 ms, headroom 0.25, cap 0.5 s. *)
 
 (** CPU-cost model for message authentication — an ablation knob. The
     protocol always uses the one-time hash signatures on the wire;

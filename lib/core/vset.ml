@@ -1,10 +1,18 @@
+(* Flat representation: rows of compact indices into the per-run
+   interned message store instead of [Message.t option array] per
+   phase. 0 marks an empty slot; any other entry is a 1-based
+   [Msgstore] index. Structurally equal messages — the same
+   justification entry re-embedded in many frames — resolve to one
+   stored copy shared by every V set of the run. *)
+
 type t = {
   n : int;
-  by_phase : (int, Message.t option array) Hashtbl.t;
+  store : Msgstore.t;
+  by_phase : (int, int array) Hashtbl.t;
   (* additional differently-valued copies per (sender, phase): an
      equivocating sender's other messages. At most one stored copy per
      value, so a slot holds <= 3 messages total. *)
-  extras : (int * int, Message.t list) Hashtbl.t;
+  extras : (int * int, int list) Hashtbl.t;
   (* incremental tallies — Validation probes count_phase/count_value on
      every candidate message, so the counts are maintained on insert
      instead of rescanning the phase row. Messages are never removed,
@@ -13,18 +21,25 @@ type t = {
   value_tally : (int * int, int) Hashtbl.t;  (* (phase, value code) -> supporters *)
   mutable highest : Message.t option;
   mutable total : int;
+  (* bumped on every successful insert: the cheap invalidation key for
+     downstream memos (the machine's justification/envelope cache) *)
+  mutable version : int;
 }
 
 let create ~n =
   {
     n;
+    store = Msgstore.current ();
     by_phase = Hashtbl.create 32;
     extras = Hashtbl.create 4;
     phase_tally = Hashtbl.create 32;
     value_tally = Hashtbl.create 32;
     highest = None;
     total = 0;
+    version = 0;
   }
+
+let version t = t.version
 
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -33,7 +48,7 @@ let row t phase =
   match Hashtbl.find_opt t.by_phase phase with
   | Some slots -> slots
   | None ->
-      let slots = Array.make t.n None in
+      let slots = Array.make t.n 0 in
       Hashtbl.add t.by_phase phase slots;
       slots
 
@@ -42,45 +57,51 @@ let copies t ~sender ~phase =
     match Hashtbl.find_opt t.by_phase phase with
     | None -> []
     | Some slots ->
-        if sender >= 0 && sender < t.n then
-          match slots.(sender) with Some m -> [ m ] | None -> []
+        if sender >= 0 && sender < t.n && slots.(sender) <> 0 then
+          [ Msgstore.get t.store slots.(sender) ]
         else []
   in
-  primary @ Option.value ~default:[] (Hashtbl.find_opt t.extras (sender, phase))
+  primary
+  @ List.map (Msgstore.get t.store)
+      (Option.value ~default:[] (Hashtbl.find_opt t.extras (sender, phase)))
 
 let add_unprofiled t (m : Message.t) =
   if m.sender < 0 || m.sender >= t.n then false
   else begin
     let slots = row t m.phase in
-    match slots.(m.sender) with
-    | None ->
-        slots.(m.sender) <- Some m;
+    if slots.(m.sender) = 0 then begin
+      slots.(m.sender) <- Msgstore.intern t.store m;
+      t.total <- t.total + 1;
+      t.version <- t.version + 1;
+      bump t.phase_tally m.phase;
+      bump t.value_tally (m.phase, Proto.value_to_int m.value);
+      (match t.highest with
+      | Some h when h.phase >= m.phase -> ()
+      | Some _ | None -> t.highest <- Some m);
+      true
+    end
+    else begin
+      (* a second copy is retained only when it carries a value not
+         seen from this (sender, phase) yet: distinct messages from an
+         equivocating sender are all in V (the paper's V_i is a set of
+         messages), but each extra value can support a validation rule
+         at most once *)
+      let stored = copies t ~sender:m.sender ~phase:m.phase in
+      if List.exists (fun (c : Message.t) -> Proto.value_equal c.value m.value) stored
+      then false
+      else begin
+        Hashtbl.replace t.extras (m.sender, m.phase)
+          (Msgstore.intern t.store m
+          :: Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, m.phase)));
         t.total <- t.total + 1;
-        bump t.phase_tally m.phase;
+        t.version <- t.version + 1;
+        (* an extra always sits next to a primary from the same
+           sender, so the phase tally is unchanged; the sender now
+           additionally supports this (previously unseen) value *)
         bump t.value_tally (m.phase, Proto.value_to_int m.value);
-        (match t.highest with
-        | Some h when h.phase >= m.phase -> ()
-        | Some _ | None -> t.highest <- Some m);
         true
-    | Some _ ->
-        (* a second copy is retained only when it carries a value not
-           seen from this (sender, phase) yet: distinct messages from an
-           equivocating sender are all in V (the paper's V_i is a set of
-           messages), but each extra value can support a validation rule
-           at most once *)
-        let stored = copies t ~sender:m.sender ~phase:m.phase in
-        if List.exists (fun (c : Message.t) -> Proto.value_equal c.value m.value) stored
-        then false
-        else begin
-          Hashtbl.replace t.extras (m.sender, m.phase)
-            (m :: Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, m.phase)));
-          t.total <- t.total + 1;
-          (* an extra always sits next to a primary from the same
-             sender, so the phase tally is unchanged; the sender now
-             additionally supports this (previously unseen) value *)
-          bump t.value_tally (m.phase, Proto.value_to_int m.value);
-          true
-        end
+      end
+    end
   end
 
 let add t (m : Message.t) =
@@ -89,17 +110,21 @@ let add t (m : Message.t) =
   Obs.Prof.stop Obs.Prof.vset_tally sp;
   inserted
 
+(* The store is append-only and shared by reference: cloning only
+   copies the index rows and tallies. *)
 let clone t =
   let by_phase = Hashtbl.create (Hashtbl.length t.by_phase) in
   Hashtbl.iter (fun phase slots -> Hashtbl.add by_phase phase (Array.copy slots)) t.by_phase;
   {
     n = t.n;
+    store = t.store;
     by_phase;
     extras = Hashtbl.copy t.extras;
     phase_tally = Hashtbl.copy t.phase_tally;
     value_tally = Hashtbl.copy t.value_tally;
     highest = t.highest;
     total = t.total;
+    version = t.version;
   }
 
 (* Canonical serialization for state fingerprinting: phases ascending,
@@ -121,20 +146,24 @@ let canonical t buf =
     (fun phase ->
       Buffer.add_string buf (Printf.sprintf "|p%d:" phase);
       let slots = Hashtbl.find t.by_phase phase in
-      Array.iter
-        (function
-          | None -> ()
-          | Some (m : Message.t) ->
-              header m;
-              List.iter header
-                (Option.value ~default:[] (Hashtbl.find_opt t.extras (m.sender, phase))))
+      Array.iteri
+        (fun sender idx ->
+          if idx <> 0 then begin
+            header (Msgstore.get t.store idx);
+            List.iter
+              (fun i -> header (Msgstore.get t.store i))
+              (Option.value ~default:[] (Hashtbl.find_opt t.extras (sender, phase)))
+          end)
         slots)
-    (List.sort compare phases)
+    (List.sort Int.compare phases)
 
 let find t ~sender ~phase =
   match Hashtbl.find_opt t.by_phase phase with
   | None -> None
-  | Some slots -> if sender >= 0 && sender < t.n then slots.(sender) else None
+  | Some slots ->
+      if sender >= 0 && sender < t.n && slots.(sender) <> 0 then
+        Some (Msgstore.get t.store slots.(sender))
+      else None
 
 let mem t ~sender ~phase = find t ~sender ~phase <> None
 
@@ -146,7 +175,7 @@ let fold_phase t phase f acc =
   | None -> acc
   | Some slots ->
       Array.fold_left
-        (fun acc slot -> match slot with Some m -> f acc m | None -> acc)
+        (fun acc idx -> if idx = 0 then acc else f acc (Msgstore.get t.store idx))
         acc slots
 
 let count_phase t ~phase =
@@ -165,9 +194,7 @@ let messages_at t ~phase =
   | Some slots ->
       let out = ref [] in
       for sender = t.n - 1 downto 0 do
-        match slots.(sender) with
-        | None -> ()
-        | Some _ -> out := copies t ~sender ~phase @ !out
+        if slots.(sender) <> 0 then out := copies t ~sender ~phase @ !out
       done;
       !out
 

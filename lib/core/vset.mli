@@ -8,11 +8,17 @@
     holding the two halves of an equivocation could never validate each
     other's next-phase values, and the protocol would stall — the chaos
     harness's equivocation strategy exercises exactly this. At most one
-    copy per value is kept, bounding a slot at 3 messages. *)
+    copy per value is kept, bounding a slot at 3 messages.
+
+    The representation is flat: rows of compact indices into the
+    per-run interned {!Msgstore}, so structurally equal messages are
+    stored once per run no matter how many V sets and justification
+    bundles they appear in. *)
 
 type t
 
 val create : n:int -> t
+(** Captures the domain's current per-run {!Msgstore}. *)
 
 val add : t -> Message.t -> bool
 (** [add t m] stores [m] unless a copy from the same (sender, phase)
@@ -61,6 +67,12 @@ val highest_message : t -> Message.t option
 
 val size : t -> int
 (** Total stored messages. *)
+
+val version : t -> int
+(** Bumped on every successful {!add} — a cheap invalidation key for
+    memos derived from the set's contents (the machine's justification
+    and envelope caches). Cloning preserves the counter; the clone and
+    the original then advance it independently. *)
 
 val clone : t -> t
 (** An independent deep copy (messages themselves are immutable and

@@ -1,6 +1,8 @@
-(* Scaling sweep past the paper's n=16: Turquois (all-to-all, up to
-   [turquois_cap]) against the sample-based consensus (every n, over
-   the scalable abstract medium on the calendar-queue backend). *)
+(* Scaling sweep past the paper's n=16: Turquois (all-to-all over the
+   full radio/MAC stack, up to [turquois_cap]) against the sample-based
+   consensus — over the same contended radio up to [radio_cap]
+   ("Sampled-radio"), and over the scalable abstract medium on the
+   calendar-queue backend at every n ("Sampled"). *)
 
 type point = {
   protocol : string;
@@ -18,25 +20,34 @@ type point = {
   arena_hw : int;
   timed_out : bool;
   mem_words : int;
+  minor_words : int;
+  major_words : int;
 }
 
-let default_ns = [ 16; 64; 256; 1024 ]
+let default_ns = [ 16; 64; 128; 256; 1024 ]
 
-(* Words allocated by the current domain so far. The delta across a
-   point's body is (a) parallel-safe — the counters are domain-local,
-   so concurrent points on other domains don't bleed in — and (b) a
-   deterministic function of the run itself, unlike [top_heap_words],
-   which is a process-global monotonic high-water mark and therefore
-   depends on which points happened to run earlier on the heap. *)
-let alloc_words () =
+(* Words allocated by the current domain so far, split by generation
+   (major is net of promotions, so the two add up to total allocation).
+   The minor counter comes from [Gc.minor_words], which reads the
+   calling domain's own allocation pointer — [Gc.quick_stat] aggregates
+   minor words across every live domain on this runtime, so under -j N
+   it silently bills a slow point for its neighbours' allocations
+   (measured 3.6x inflation at -j 4). The major-net-of-promotions
+   component still comes from the aggregated stat — only allocations
+   that skip the minor heap land there (large buffers), a few percent
+   of the total, so cross-domain bleed on it stays within the one-sided
+   compare margin. Unlike [top_heap_words] (a process-global monotonic
+   high-water mark) the delta across a point's body does not depend on
+   which points ran earlier. *)
+let gc_words () =
   let s = Gc.quick_stat () in
-  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+  (Gc.minor_words (), s.Gc.major_words -. s.Gc.promoted_words)
 
 (* One sampled-consensus execution: n correct nodes, divergent
    proposals, 1% iid loss, all randomness derived from [seed]. *)
 let run_sampled ~n ~seed ~timeout =
   let body () =
-    let alloc0 = alloc_words () in
+    let minor0, major0 = gc_words () in
     let engine = Net.Engine.create ~backend:Calendar () in
     let rng = Util.Rng.create ~seed in
     let medium =
@@ -65,6 +76,7 @@ let run_sampled ~n ~seed ~timeout =
     Net.Engine.run ~until:timeout engine;
     let lats = Hashtbl.fold (fun _ l acc -> l :: acc) decide_time [] in
     let stats = Scale.Medium.stats medium in
+    let minor1, major1 = gc_words () in
     {
       protocol = "Sampled";
       n;
@@ -82,20 +94,25 @@ let run_sampled ~n ~seed ~timeout =
       queued_peak = Net.Engine.queued_peak engine;
       arena_hw = Scale.Medium.arena_high_water medium;
       timed_out;
-      mem_words = int_of_float (alloc_words () -. alloc0);
+      mem_words = int_of_float (minor1 +. major1 -. (minor0 +. major0));
+      minor_words = int_of_float (minor1 -. minor0);
+      major_words = int_of_float (major1 -. major0);
     }
   in
   fst (Obs.Scope.with_run body)
 
-let run_turquois ~n ~seed ~timeout =
-  let alloc0 = alloc_words () in
+(* One Runner execution over the full radio/MAC stack, reduced to a
+   sweep point. Shared by the Turquois and Sampled-radio task kinds. *)
+let run_radio ~protocol_name ~runner_protocol ~n ~seed ~timeout =
+  let minor0, major0 = gc_words () in
   let r =
-    Runner.run ~protocol:Runner.Turquois ~n ~dist:Runner.Divergent
+    Runner.run ~protocol:runner_protocol ~n ~dist:Runner.Divergent
       ~load:Net.Fault.Failure_free ~timeout ~seed ()
   in
+  let minor1, major1 = gc_words () in
   let lats = List.map snd r.Runner.latencies in
   {
-    protocol = "Turquois";
+    protocol = protocol_name;
     n;
     honest = List.length r.Runner.correct;
     decided = List.length lats;
@@ -109,18 +126,36 @@ let run_turquois ~n ~seed ~timeout =
     airtime = r.Runner.airtime;
     live_peak = r.Runner.events_live_peak;
     queued_peak = r.Runner.events_queued_peak;
-    arena_hw = 0;
+    (* for Turquois the arena is the per-run interned message store:
+       its size is the count of distinct messages the whole group
+       materialized (the flat V sets and justification bundles hold
+       indices into it) *)
+    arena_hw =
+      (match runner_protocol with
+      | Runner.Turquois -> Core.Msgstore.size (Core.Msgstore.current ())
+      | _ -> 0);
     timed_out = r.Runner.timed_out;
-    mem_words = int_of_float (alloc_words () -. alloc0);
+    mem_words = int_of_float (minor1 +. major1 -. (minor0 +. major0));
+    minor_words = int_of_float (minor1 -. minor0);
+    major_words = int_of_float (major1 -. major0);
   }
 
-let sweep ?jobs ?(ns = default_ns) ?(turquois_cap = 64) ?(timeout = 30.0) ~seed () =
+let run_turquois ~n ~seed ~timeout =
+  run_radio ~protocol_name:"Turquois" ~runner_protocol:Runner.Turquois ~n ~seed ~timeout
+
+let run_sampled_radio ~n ~seed ~timeout =
+  run_radio ~protocol_name:"Sampled-radio" ~runner_protocol:Runner.Sampled ~n ~seed
+    ~timeout
+
+let sweep ?jobs ?(ns = default_ns) ?(turquois_cap = 128) ?(radio_cap = 256)
+    ?(timeout = 30.0) ~seed () =
   if ns = [] then invalid_arg "Scaling.sweep: need at least one n";
   let tasks =
     Array.of_list
       (List.concat_map
          (fun n ->
            (if n <= turquois_cap then [ ("Turquois", n) ] else [])
+           @ (if n <= radio_cap then [ ("Sampled-radio", n) ] else [])
            @ [ ("Sampled", n) ])
          ns)
   in
@@ -129,6 +164,7 @@ let sweep ?jobs ?(ns = default_ns) ?(turquois_cap = 64) ?(timeout = 30.0) ~seed 
       let seed = Util.Rng.derive ~base:seed [ i; n ] in
       match protocol with
       | "Turquois" -> run_turquois ~n ~seed ~timeout
+      | "Sampled-radio" -> run_sampled_radio ~n ~seed ~timeout
       | _ -> run_sampled ~n ~seed ~timeout)
   |> Array.to_list
 
@@ -136,14 +172,14 @@ let sweep ?jobs ?(ns = default_ns) ?(turquois_cap = 64) ?(timeout = 30.0) ~seed 
 let render points =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-9s %5s %9s %10s %10s %9s %9s %11s %9s %9s %10s %8s %6s\n"
+    (Printf.sprintf "%-13s %5s %9s %10s %10s %9s %9s %11s %9s %9s %10s %8s %6s\n"
        "protocol" "n" "decided" "mean_ms" "max_ms" "dur_s" "msgs" "bytes"
        "airtime_s" "live_pk" "queued_pk" "arena" "t/o");
   List.iter
     (fun p ->
       Buffer.add_string buf
         (Printf.sprintf
-           "%-9s %5d %4d/%-4d %10.2f %10.2f %9.3f %9d %11d %9.3f %9d %10d %8d %6s\n"
+           "%-13s %5d %4d/%-4d %10.2f %10.2f %9.3f %9d %11d %9.3f %9d %10d %8d %6s\n"
            p.protocol p.n p.decided p.honest (p.mean_latency *. 1e3)
            (p.max_latency *. 1e3) p.duration p.msgs p.bytes p.airtime p.live_peak
            p.queued_peak p.arena_hw
@@ -154,18 +190,20 @@ let render points =
 type doc = {
   ns : int list;
   turquois_cap : int;
+  radio_cap : int;
   timeout : float;
   seed : int64;
   points : point list;
 }
 
-let to_json ~schema_version ~ns ~turquois_cap ~timeout ~seed points =
+let to_json ~schema_version ~ns ~turquois_cap ~radio_cap ~timeout ~seed points =
   Obs.Json.Obj
     [
       ("bench", Obs.Json.String "scaling");
       ("bench_schema_version", Obs.Json.Int schema_version);
       ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) ns));
       ("turquois_cap", Obs.Json.Int turquois_cap);
+      ("radio_cap", Obs.Json.Int radio_cap);
       ("timeout_s", Obs.Json.Float timeout);
       ("seed", Obs.Json.String (Int64.to_string seed));
       ( "points",
@@ -189,6 +227,8 @@ let to_json ~schema_version ~ns ~turquois_cap ~timeout ~seed points =
                    ("arena_hw", Obs.Json.Int p.arena_hw);
                    ("timed_out", Obs.Json.Bool p.timed_out);
                    ("mem_words", Obs.Json.Int p.mem_words);
+                   ("minor_words", Obs.Json.Int p.minor_words);
+                   ("major_words", Obs.Json.Int p.major_words);
                  ])
              points) );
     ]
@@ -212,6 +252,11 @@ let of_json json =
           |> Option.map List.rev
     in
     let* turquois_cap = Option.bind (member "turquois_cap" json) to_int in
+    (* absent in schema <= 3 documents: those predate the Sampled-radio
+       task kind, so no radio points were run *)
+    let radio_cap =
+      Option.value ~default:0 (Option.bind (member "radio_cap" json) to_int)
+    in
     let* timeout = Option.bind (member "timeout_s" json) to_float in
     let* seed =
       Option.bind (member "seed" json) (fun j ->
@@ -236,6 +281,9 @@ let of_json json =
       let* arena_hw = int "arena_hw" in
       let* timed_out = Option.bind (member "timed_out" p) to_bool in
       let* mem_words = int "mem_words" in
+      (* absent in schema <= 3 documents; 0 = not measured *)
+      let minor_words = Option.value ~default:0 (int "minor_words") in
+      let major_words = Option.value ~default:0 (int "major_words") in
       Ok
         {
           protocol;
@@ -253,6 +301,8 @@ let of_json json =
           arena_hw;
           timed_out;
           mem_words;
+          minor_words;
+          major_words;
         }
     in
     List.fold_left
@@ -263,4 +313,4 @@ let of_json json =
         | Ok ps, Ok p -> Ok (p :: ps))
       (Ok []) points
     |> Result.map (fun points ->
-           { ns; turquois_cap; timeout; seed; points = List.rev points })
+           { ns; turquois_cap; radio_cap; timeout; seed; points = List.rev points })

@@ -1,15 +1,17 @@
 (** Scaling sweep: Turquois vs the sample-based protocols as n grows
-    past the paper's 16-node testbed (16 / 64 / 256 / 1024).
+    past the paper's 16-node testbed (16 / 64 / 128 / 256 / 1024).
 
     Turquois is all-to-all — every phase costs O(n^2) receptions — so
-    it is only run up to [turquois_cap] (its collapse there is itself
-    the result). The sampled protocol runs at every n over the
-    scalable abstract {!Scale.Medium} on the calendar-queue engine
-    backend. Each point reports decision coverage, latency, traffic,
-    airtime and the engine/arena high-water marks; every rendered
-    field is a deterministic function of the seed, so tables are
-    bit-identical across [-j N] ([mem_words] is within a cache-warmup
-    constant of deterministic and stays out of the table). *)
+    it is only run up to [turquois_cap]. The sampled protocol runs
+    twice: over the same contended 802.11b radio/MAC stack up to
+    [radio_cap] ("Sampled-radio"), and at every n over the scalable
+    abstract {!Scale.Medium} on the calendar-queue engine backend
+    ("Sampled"). Each point reports decision coverage, latency,
+    traffic, airtime and the engine/arena high-water marks; every
+    rendered field is a deterministic function of the seed, so tables
+    are bit-identical across [-j N] (the allocation-word fields are
+    within a cache-warmup constant of deterministic and stay out of
+    the table). *)
 
 type point = {
   protocol : string;
@@ -24,31 +26,43 @@ type point = {
   airtime : float;  (** cumulative medium occupancy, seconds *)
   live_peak : int;  (** engine live-event high-water mark *)
   queued_peak : int;  (** raw event-queue high-water mark *)
-  arena_hw : int;  (** peak in-flight messages (sampled runs; else 0) *)
+  arena_hw : int;
+      (** peak in-flight messages (sampled abstract runs) or distinct
+          interned messages in the per-run {!Core.Msgstore} (Turquois
+          runs); 0 where neither applies *)
   timed_out : bool;
   mem_words : int;
       (** words allocated by the point on its own domain (minor +
           major - promoted delta) — a coarse memory-cost proxy that,
           unlike a process-global heap high-water mark, does not
-          depend on which points ran earlier or on [-j]. Domain-cache
-          warmup can still shift it by a small constant, so it is
+          depend on which points ran earlier. The dominant minor
+          component is read from the domain-local allocation counter
+          and is [-j]-independent; the small direct-to-major remainder
+          comes from the aggregated GC stat and can pick up a few
+          percent of cross-domain bleed under [-j N]. Domain-cache
+          warmup can also shift it by a small constant, so it is
           excluded from {!render} and compared one-sidedly. *)
+  minor_words : int;  (** minor-generation component of [mem_words] *)
+  major_words : int;
+      (** net major-generation component (major - promoted) *)
 }
 
 val default_ns : int list
-(** [16; 64; 256; 1024] *)
+(** [16; 64; 128; 256; 1024] *)
 
 val sweep :
   ?jobs:int ->
   ?ns:int list ->
   ?turquois_cap:int ->
+  ?radio_cap:int ->
   ?timeout:float ->
   seed:int64 ->
   unit ->
   point list
-(** Runs the grid on the worker pool. [turquois_cap] defaults to 64;
-    [timeout] (simulated seconds) to 30. Point order follows [ns],
-    Turquois before Sampled at each n. *)
+(** Runs the grid on the worker pool. [turquois_cap] defaults to 128,
+    [radio_cap] (largest n for the Sampled-radio task) to 256,
+    [timeout] (simulated seconds) to 30. Point order follows [ns];
+    at each n: Turquois, then Sampled-radio, then Sampled. *)
 
 val render : point list -> string
 (** Fixed-width table of the deterministic fields only. *)
@@ -56,6 +70,7 @@ val render : point list -> string
 type doc = {
   ns : int list;
   turquois_cap : int;
+  radio_cap : int;  (** 0 in documents predating the radio task *)
   timeout : float;
   seed : int64;
   points : point list;
@@ -68,13 +83,14 @@ val to_json :
   schema_version:int ->
   ns:int list ->
   turquois_cap:int ->
+  radio_cap:int ->
   timeout:float ->
   seed:int64 ->
   point list ->
   Obs.Json.t
 (** Self-describing document (["bench" = "scaling"]) for
     [BENCH_scaling.json]; records the sweep parameters and includes
-    [mem_words]. *)
+    the allocation-word fields. *)
 
 val of_json : Obs.Json.t -> (doc, string) result
 (** Parses a document produced by {!to_json} (for [--compare]). *)

@@ -48,6 +48,19 @@ let send t ~dst ~port payload =
       ignore
         (Engine.schedule t.engine ~delay (fun () -> dispatch t ~src:self ~port payload))
 
+let send_latest t ?tag ~port payload =
+  let raw = encode ~port payload in
+  if Obs.Trace2.enabled () then Obs.Causal.alias ~from:payload raw;
+  (* default tag is the port: one waiting frame per port, refreshed in
+     place while it queues for the medium. Callers with several
+     mutually non-superseding frame flavors on one port pass their own
+     tags. *)
+  let tag = match tag with Some x -> x | None -> port in
+  Mac.send_broadcast_replacing t.mac_layer ~tag raw;
+  let delay = Mac.airtime_broadcast ~payload_bytes:(Bytes.length raw) in
+  let self = Mac.id t.mac_layer in
+  ignore (Engine.schedule t.engine ~delay (fun () -> dispatch t ~src:self ~port payload))
+
 let listen t ~port handler = Hashtbl.replace t.handlers port handler
 let unlisten t ~port = Hashtbl.remove t.handlers port
 let mac t = t.mac_layer

@@ -20,6 +20,14 @@ val send :
     and remote deliveries of the same broadcast happen at comparable
     times. *)
 
+val send_latest : t -> ?tag:int -> port:int -> bytes -> unit
+(** Broadcast a datagram that {e supersedes} any broadcast with the same
+    replacement [tag] (default: the port) still queued at the MAC: the
+    queued frame's payload is replaced in place
+    ({!Mac.send_broadcast_replacing}), so a fast producer on a contended
+    medium transmits only its latest state. Loopback delivery behaves as
+    in {!send}. *)
+
 val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit
 (** At most one listener per port; a second [listen] replaces the
     first. *)

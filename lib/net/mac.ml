@@ -58,8 +58,9 @@ let decode_frame b =
 
 type pending = {
   p_dst : int option; (* None = broadcast *)
-  p_payload : bytes;
+  mutable p_payload : bytes;
   p_seq : int;
+  p_tag : int;        (* replacement class for queued broadcasts; -1 = never *)
   mutable retries : int;
   mutable cw : int;
 }
@@ -81,6 +82,7 @@ type t = {
 }
 
 let id t = t.node_id
+let radio t = t.radio
 let on_deliver t f = t.deliver <- Some f
 let on_drop t f = t.dropped <- Some f
 let queue_length t = Queue.length t.queue + match t.current with Some _ -> 1 | None -> 0
@@ -313,9 +315,48 @@ let enqueue t p =
 let send_broadcast t payload =
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  enqueue t { p_dst = None; p_payload = payload; p_seq = seq; retries = 0; cw = Const.cw_min }
+  enqueue t
+    { p_dst = None; p_payload = payload; p_seq = seq; p_tag = -1; retries = 0; cw = Const.cw_min }
 
 let send_unicast t ~dst payload =
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  enqueue t { p_dst = Some dst; p_payload = payload; p_seq = seq; retries = 0; cw = Const.cw_min }
+  enqueue t
+    {
+      p_dst = Some dst;
+      p_payload = payload;
+      p_seq = seq;
+      p_tag = -1;
+      retries = 0;
+      cw = Const.cw_min;
+    }
+
+let send_broadcast_replacing t ~tag payload =
+  (* A queued (not yet in service) broadcast of the same class is
+     superseded in place instead of queueing behind it: under contention
+     the queue would otherwise grow a backlog of stale frames, each
+     costing full airtime to deliver information the replacement already
+     carries. The in-service frame is never touched — its backoff and
+     airtime are already committed. *)
+  let replaced = ref false in
+  Queue.iter
+    (fun p ->
+      if (not !replaced) && p.p_dst = None && p.p_tag = tag then begin
+        p.p_payload <- payload;
+        replaced := true
+      end)
+    t.queue;
+  if !replaced then Obs.Metrics.incr "mac.replaced"
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    enqueue t
+      {
+        p_dst = None;
+        p_payload = payload;
+        p_seq = seq;
+        p_tag = tag;
+        retries = 0;
+        cw = Const.cw_min;
+      }
+  end

@@ -46,8 +46,20 @@ val id : t -> int
 val send_broadcast : t -> bytes -> unit
 (** Queues a broadcast payload (the MAC adds its header). *)
 
+val send_broadcast_replacing : t -> tag:int -> bytes -> unit
+(** Like {!send_broadcast}, but if a queued (not yet in-service)
+    broadcast with the same [tag] is still waiting for the medium, its
+    payload is overwritten in place instead — the queue holds at most
+    one waiting frame per tag, so a sender that produces state updates
+    faster than the contended medium drains them never builds a backlog
+    of stale frames. Counted under the [mac.replaced] metric. *)
+
 val send_unicast : t -> dst:int -> bytes -> unit
 (** Queues a unicast payload for [dst], with ACK and retransmission. *)
+
+val radio : t -> Radio.t
+(** The shared medium this MAC contends on — exposed so upper layers can
+    read cumulative airtime statistics (e.g. load-adaptive timers). *)
 
 val on_deliver : t -> (src:int -> bytes -> unit) -> unit
 (** Upper-layer delivery callback: fires once per distinct received
@@ -64,3 +76,8 @@ val airtime_broadcast : payload_bytes:int -> float
     exposed for capacity analysis and tests. *)
 
 val airtime_unicast : payload_bytes:int -> float
+
+val ack_airtime : float
+(** Time on air of a MAC-level acknowledgment (short preamble, basic
+    rate) — part of the full per-unicast channel cost together with
+    SIFS, DIFS and the average backoff. *)

@@ -21,6 +21,7 @@ let datagram t = t.node_dg
 let mac t = t.node_mac
 let charge t cost = Cpu.charge t.node_cpu cost
 let broadcast t ~port payload = Datagram.send t.node_dg ~dst:`Broadcast ~port payload
+let broadcast_latest t ?tag ~port payload = Datagram.send_latest t.node_dg ?tag ~port payload
 let unicast t ~dst ~port payload = Datagram.send t.node_dg ~dst:(`Node dst) ~port payload
 
 let listen t ~port handler =

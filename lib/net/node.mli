@@ -23,6 +23,12 @@ val charge : t -> float -> unit
 val broadcast : t -> port:int -> bytes -> unit
 (** UDP-style broadcast, loopback included. *)
 
+val broadcast_latest : t -> ?tag:int -> port:int -> bytes -> unit
+(** {!broadcast}, but a broadcast with the same replacement [tag]
+    (default: the port) still queued at the MAC is superseded in place
+    rather than queued behind — the transport for periodic state
+    announcements whose newest frame obsoletes the older ones. *)
+
 val unicast : t -> dst:int -> port:int -> bytes -> unit
 
 val listen : t -> port:int -> (src:int -> bytes -> unit) -> unit

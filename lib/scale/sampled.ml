@@ -166,6 +166,10 @@ let decode raw =
   Util.Codec.R.expect_end r;
   (kind, phase, value)
 
+(* the size harness-level capacity math must assume per vote frame
+   (phases above 127 grow the varint by a byte — negligible) *)
+let state_frame_bytes = Bytes.length (encode ~kind:0 ~phase:1 ~value:1)
+
 (* --- sending ------------------------------------------------------------ *)
 
 let send t ~dst msg =

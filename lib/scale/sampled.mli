@@ -32,6 +32,11 @@ val default_config : n:int -> config
     BFT quorum k - (k-1)/3 of the tally universe (inverse sample plus
     own vote), sustained for [confidence] consecutive even phases. *)
 
+val state_frame_bytes : int
+(** Encoded size of one vote frame — what per-frame channel-capacity
+    math (e.g. the harness's contended-radio tick sizing) must assume,
+    instead of guessing. Phases above 127 add one varint byte. *)
+
 type t
 
 val create :

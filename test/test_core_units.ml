@@ -135,6 +135,73 @@ let qcheck_message_roundtrip =
       let back = Core.Message.msg_of_bytes (Core.Message.msg_to_bytes msg) in
       Core.Message.header_equal msg back && Bytes.equal msg.proof back.proof)
 
+(* --- wire formats (plain vs compact) ------------------------------------- *)
+
+let test_wire_plain_is_encode () =
+  (* an all-Full wire frame is the plain envelope codec, byte for byte *)
+  let msg = mk_msg () in
+  let just = [ mk_msg ~sender:2 ~phase:3 (); mk_msg ~sender:3 ~phase:3 ~value:P.Vbot () ] in
+  let wire =
+    { Core.Message.wmsg = msg; wjust = List.map (fun m -> Core.Message.Full m) just }
+  in
+  let b = Core.Message.encode_wire wire in
+  Alcotest.(check int) "format byte 0" 0 (Char.code (Bytes.get b 0));
+  Alcotest.(check bytes) "same bytes as encode"
+    (Core.Message.encode { Core.Message.msg; justification = just }) b;
+  let back = Core.Message.decode_wire b in
+  Alcotest.(check (list msg_testable)) "entries survive" just
+    (List.map
+       (function Core.Message.Full m -> m | Core.Message.Ref _ -> Alcotest.fail "ref")
+       back.wjust)
+
+let test_wire_compact_roundtrip () =
+  let full = mk_msg ~sender:2 ~phase:3 () in
+  let d = Core.Message.msg_digest (mk_msg ~sender:3 ~phase:3 ()) in
+  let wire =
+    { Core.Message.wmsg = mk_msg (); wjust = [ Core.Message.Full full; Core.Message.Ref d ] }
+  in
+  let b = Core.Message.encode_wire wire in
+  Alcotest.(check int) "format byte 1" 1 (Char.code (Bytes.get b 0));
+  (match (Core.Message.decode_wire b).wjust with
+  | [ Core.Message.Full m; Core.Message.Ref d' ] ->
+      Alcotest.(check msg_testable) "full entry" full m;
+      Alcotest.(check bytes) "ref digest" d d'
+  | _ -> Alcotest.fail "expected [Full; Ref]");
+  (* the plain decoder must refuse a frame it cannot resolve *)
+  Alcotest.check_raises "decode refuses refs"
+    (Util.Codec.Malformed "unresolved compact reference") (fun () ->
+      ignore (Core.Message.decode b))
+
+let test_wire_rejects_bad_tags () =
+  let msg = mk_msg () in
+  let wire =
+    { Core.Message.wmsg = msg;
+      wjust = [ Core.Message.Ref (Core.Message.msg_digest (mk_msg ~sender:2 ())) ] }
+  in
+  let b = Core.Message.encode_wire wire in
+  let bad_format = Bytes.copy b in
+  Bytes.set bad_format 0 '\x07';
+  Alcotest.check_raises "unknown format" (Util.Codec.Malformed "unknown frame format 7")
+    (fun () -> ignore (Core.Message.decode_wire bad_format));
+  (* the entry tag sits after the format byte, the message and the count *)
+  let tag_pos = 1 + Bytes.length (Core.Message.msg_to_bytes msg) + 2 in
+  let bad_tag = Bytes.copy b in
+  Bytes.set bad_tag tag_pos '\x05';
+  Alcotest.check_raises "unknown entry tag" (Util.Codec.Malformed "unknown entry tag 5")
+    (fun () -> ignore (Core.Message.decode_wire bad_tag));
+  Alcotest.check_raises "truncated ref" Util.Codec.Truncated (fun () ->
+      ignore (Core.Message.decode_wire (Bytes.sub b 0 (Bytes.length b - 1))))
+
+let test_msg_digest_covers_proof () =
+  let a = mk_msg () in
+  let b = mk_msg ~proof:(Bytes.make 32 '\x22') () in
+  Alcotest.(check int) "width" Core.Message.digest_bytes
+    (Bytes.length (Core.Message.msg_digest a));
+  Alcotest.(check bool) "deterministic" true
+    (Bytes.equal (Core.Message.msg_digest a) (Core.Message.msg_digest (mk_msg ())));
+  Alcotest.(check bool) "proof is covered" false
+    (Bytes.equal (Core.Message.msg_digest a) (Core.Message.msg_digest b))
+
 (* --- Keyring ------------------------------------------------------------- *)
 
 let keyrings = lazy (Core.Keyring.setup (Util.Rng.create ~seed:200L) ~n:4 ~phases:12 ())
@@ -253,6 +320,162 @@ let test_vset_messages_at_sorted () =
   Alcotest.(check (list int)) "ascending senders" [ 0; 2; 3 ]
     (List.map (fun (m : Core.Message.t) -> m.sender) (Core.Vset.messages_at v ~phase:1))
 
+(* A list-based executable model of the documented Vset semantics: the
+   flat arena-backed implementation must be observation-equivalent to
+   it on any message stream. The model keeps plain insertion order and
+   recomputes every query by scanning — obviously correct, hopelessly
+   slow, which is exactly what a reference should be. *)
+module Ref_vset = struct
+  type t = { n : int; mutable msgs : Core.Message.t list (* insertion order *) }
+
+  let create ~n = { n; msgs = [] }
+
+  let add t (m : Core.Message.t) =
+    if
+      m.sender < 0 || m.sender >= t.n
+      || List.exists
+           (fun (s : Core.Message.t) ->
+             s.sender = m.sender && s.phase = m.phase && P.value_equal s.value m.value)
+           t.msgs
+    then false
+    else begin
+      t.msgs <- t.msgs @ [ m ];
+      true
+    end
+
+  (* the primary is the first stored copy; equivocated extras surface
+     newest-first after it (they are consed onto the slot) *)
+  let copies t ~sender ~phase =
+    match
+      List.filter (fun (s : Core.Message.t) -> s.sender = sender && s.phase = phase) t.msgs
+    with
+    | [] -> []
+    | primary :: extras -> primary :: List.rev extras
+
+  let find t ~sender ~phase =
+    match copies t ~sender ~phase with [] -> None | m :: _ -> Some m
+
+  let distinct_senders t pred =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun (s : Core.Message.t) -> if pred s then Some s.sender else None)
+         t.msgs)
+
+  let count_phase t ~phase =
+    List.length (distinct_senders t (fun s -> s.phase = phase))
+
+  let count_value t ~phase ~value =
+    List.length
+      (distinct_senders t (fun s -> s.phase = phase && P.value_equal s.value value))
+
+  let messages_at t ~phase =
+    List.concat_map
+      (fun sender -> copies t ~sender ~phase)
+      (List.init t.n (fun s -> s))
+
+  let max_phase t =
+    List.fold_left (fun acc (s : Core.Message.t) -> max acc s.phase) 0 t.msgs
+
+  let size t = List.length t.msgs
+end
+
+let test_vset_matches_reference_model () =
+  let rng = Util.Rng.create ~seed:0xC0FFEEL in
+  List.iter
+    (fun n ->
+      let v = Core.Vset.create ~n in
+      let r = Ref_vset.create ~n in
+      let version0 = Core.Vset.version v in
+      let accepted = ref 0 in
+      for step = 1 to 400 do
+        let sender = Util.Rng.int rng (n + 2) - 1 (* includes out-of-range *) in
+        let phase = 1 + Util.Rng.int rng 6 in
+        let value =
+          match Util.Rng.int rng 3 with 0 -> P.V0 | 1 -> P.V1 | _ -> P.Vbot
+        in
+        let origin = if Util.Rng.bool rng then P.Deterministic else P.Random in
+        let status = if Util.Rng.bool rng then P.Undecided else P.Decided in
+        let m = mk_msg ~sender ~phase ~value ~origin ~status ~proof:(Util.Rng.bytes rng 32) () in
+        let stored = Core.Vset.add v m in
+        if stored then incr accepted;
+        if stored <> Ref_vset.add r m then
+          Alcotest.failf "step %d: add disagrees with the model on %s" step
+            (Core.Message.describe m)
+      done;
+      Alcotest.(check int) "size" (Ref_vset.size r) (Core.Vset.size v);
+      Alcotest.(check int) "version counts accepted adds" (version0 + !accepted)
+        (Core.Vset.version v);
+      Alcotest.(check int) "max phase" (Ref_vset.max_phase r) (Core.Vset.max_phase v);
+      (match Core.Vset.highest_message v with
+      | Some m -> Alcotest.(check int) "highest at max phase" (Ref_vset.max_phase r) m.phase
+      | None -> Alcotest.(check int) "empty iff model empty" 0 (Ref_vset.size r));
+      for phase = 1 to 7 do
+        Alcotest.(check int)
+          (Printf.sprintf "count_phase %d" phase)
+          (Ref_vset.count_phase r ~phase)
+          (Core.Vset.count_phase v ~phase);
+        List.iter
+          (fun value ->
+            Alcotest.(check int)
+              (Printf.sprintf "count_value %d/%d" phase (P.value_to_int value))
+              (Ref_vset.count_value r ~phase ~value)
+              (Core.Vset.count_value v ~phase ~value))
+          [ P.V0; P.V1; P.Vbot ];
+        Alcotest.(check (list msg_testable))
+          (Printf.sprintf "messages_at %d" phase)
+          (Ref_vset.messages_at r ~phase)
+          (Core.Vset.messages_at v ~phase);
+        (* some_binary_value: free choice of witness, but only a valid one *)
+        (match Core.Vset.some_binary_value v ~phase with
+        | Some b ->
+            Alcotest.(check bool) "witness present" true
+              (Ref_vset.count_value r ~phase ~value:b > 0)
+        | None ->
+            Alcotest.(check int) "no binary in model" 0
+              (Ref_vset.count_value r ~phase ~value:P.V0
+              + Ref_vset.count_value r ~phase ~value:P.V1));
+        (* majority among {0,1} by distinct supporters, ties to V1 *)
+        let c0 = Ref_vset.count_value r ~phase ~value:P.V0 in
+        let c1 = Ref_vset.count_value r ~phase ~value:P.V1 in
+        if c0 + c1 > 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "majority %d" phase)
+            true
+            (P.value_equal
+               (Core.Vset.majority_value v ~phase)
+               (if c0 > c1 then P.V0 else P.V1));
+        for sender = -1 to n do
+          Alcotest.(check bool) "mem" (Ref_vset.find r ~sender ~phase <> None)
+            (Core.Vset.mem v ~sender ~phase);
+          Alcotest.(check (option msg_testable)) "find (primary = first stored)"
+            (Ref_vset.find r ~sender ~phase)
+            (Core.Vset.find v ~sender ~phase);
+          Alcotest.(check (list msg_testable)) "copies in stored order"
+            (Ref_vset.copies r ~sender ~phase)
+            (Core.Vset.copies v ~sender ~phase)
+        done
+      done;
+      (* mem_copy is exact-header membership, proof excluded *)
+      List.iter
+        (fun (m : Core.Message.t) ->
+          Alcotest.(check bool) "mem_copy stored" true
+            (Core.Vset.mem_copy v { m with proof = Bytes.make 32 '\xEE' }))
+        r.Ref_vset.msgs;
+      (* clone independence and canonical stability *)
+      let c = Core.Vset.clone v in
+      let render s =
+        let b = Buffer.create 256 in
+        Core.Vset.canonical s b;
+        Buffer.contents b
+      in
+      Alcotest.(check string) "clone canonical" (render v) (render c);
+      Alcotest.(check int) "clone version" (Core.Vset.version v) (Core.Vset.version c);
+      ignore (Core.Vset.add c (mk_msg ~sender:0 ~phase:9 ()));
+      Alcotest.(check int) "original size untouched" (Ref_vset.size r) (Core.Vset.size v);
+      Alcotest.(check bool) "canonicals diverge after clone add" false
+        (String.equal (render v) (render c)))
+    [ 4; 7; 10 ]
+
 let suite =
   ( "core-units",
     [
@@ -269,6 +492,10 @@ let suite =
       Alcotest.test_case "message garbage" `Quick test_message_rejects_garbage;
       Alcotest.test_case "message slots" `Quick test_message_slots;
       QCheck_alcotest.to_alcotest qcheck_message_roundtrip;
+      Alcotest.test_case "wire plain is encode" `Quick test_wire_plain_is_encode;
+      Alcotest.test_case "wire compact roundtrip" `Quick test_wire_compact_roundtrip;
+      Alcotest.test_case "wire rejects bad tags" `Quick test_wire_rejects_bad_tags;
+      Alcotest.test_case "msg digest covers proof" `Quick test_msg_digest_covers_proof;
       Alcotest.test_case "keyring setup" `Quick test_keyring_setup;
       Alcotest.test_case "keyring cross check" `Quick test_keyring_cross_check;
       Alcotest.test_case "keyring check message" `Quick test_keyring_check_message;
@@ -279,4 +506,5 @@ let suite =
       Alcotest.test_case "vset highest" `Quick test_vset_highest;
       Alcotest.test_case "vset some binary" `Quick test_vset_some_binary;
       Alcotest.test_case "vset sorted" `Quick test_vset_messages_at_sorted;
+      Alcotest.test_case "vset vs reference model" `Quick test_vset_matches_reference_model;
     ] )

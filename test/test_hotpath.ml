@@ -183,14 +183,14 @@ let test_decode_cache_rejects_forged_prefix () =
   let (), snap =
     Obs.Scope.with_run (fun () ->
         I.with_memo true (fun () ->
-            let e1 = I.decode payload in
-            let e2 = I.decode (Bytes.copy payload) in
-            Alcotest.(check bool) "same payload same envelope" true (e1 = e2);
-            let e3 = I.decode forged in
+            let e1 = I.decode_wire payload in
+            let e2 = I.decode_wire (Bytes.copy payload) in
+            Alcotest.(check bool) "same payload same wire frame" true (e1 = e2);
+            let e3 = I.decode_wire forged in
             Alcotest.(check bool) "forged payload never hits the valid entry" true
               (e3 <> e1);
             Alcotest.(check bool) "forged decode matches plain decode" true
-              (e3 = Core.Message.decode forged)))
+              (e3 = Core.Message.decode_wire forged)))
   in
   (* hits only on exact byte equality: the content-equal copy hit, the
      prefix-sharing forgery missed *)

@@ -221,6 +221,102 @@ let qcheck_liveness_lossless =
       in
       Array.for_all (fun m -> M.decision m <> None) machines)
 
+(* --- compact wire path ------------------------------------------------------ *)
+
+(* The delta-compressed wire path must be observation-equivalent to the
+   plain one: the same scripted network executed through
+   encode_envelope/handle_wire with compression off and on has to
+   produce bit-identical machine states round for round. Each sender
+   transmits every frame twice — a stuck re-broadcast within the same
+   phase — so the second copy actually exercises the Ref entries. *)
+let test_compact_wire_equivalence () =
+  let universe compact =
+    Core.Intern.with_compact compact (fun () ->
+        let _, machines = make_group ~seed:905L ~proposals:[| 1; 0; 1; 0 |] () in
+        let trace = ref [] in
+        let rounds = ref 0 in
+        while Array.exists (fun m -> M.decision m = None) machines && !rounds < 40 do
+          let envelopes = Array.map (fun m -> M.prepare m ~justify:true) machines in
+          Array.iteri
+            (fun s env ->
+              match env with
+              | None -> ()
+              | Some env ->
+                  let frames =
+                    [ M.encode_envelope machines.(s) env;
+                      M.encode_envelope machines.(s) env ]
+                  in
+                  Array.iteri
+                    (fun r m ->
+                      if r <> s then
+                        List.iter
+                          (fun b ->
+                            ignore (M.handle_wire m (Core.Intern.decode_wire b)))
+                          frames)
+                    machines)
+            envelopes;
+          incr rounds;
+          trace := List.map M.fingerprint (Array.to_list machines) :: !trace
+        done;
+        (List.rev !trace, List.map M.decision (Array.to_list machines)))
+  in
+  let trace_plain, dec_plain = universe false in
+  let trace_compact, dec_compact = universe true in
+  Alcotest.(check bool) "round-for-round fingerprints" true (trace_plain = trace_compact);
+  Alcotest.(check (list (option int))) "decisions" dec_plain dec_compact;
+  Alcotest.(check bool) "all decided" true (List.for_all Option.is_some dec_plain)
+
+(* Sender-side framing: first justified frame of a phase is a keyframe
+   (all entries full), repeats ship 8-byte references and reuse the
+   cached wire bytes, and every keyframe_every-th encode re-ships the
+   bundle in full so a receiver that missed the keyframe recovers. A
+   receiver that cannot resolve a reference drops just that entry and
+   counts it. *)
+let test_compact_framing_and_unresolved_refs () =
+  Core.Intern.with_compact true (fun () ->
+      let _, machines = make_group ~seed:906L ~proposals:[| 1; 0; 1; 0 |] () in
+      round machines;
+      (* everyone is now past phase 1, so justified envelopes are nonempty *)
+      let sender = machines.(0) in
+      let env =
+        match M.prepare sender ~justify:true with
+        | Some env -> env
+        | None -> Alcotest.fail "expected a broadcast"
+      in
+      Alcotest.(check bool) "justification nonempty" true
+        (env.Core.Message.justification <> []);
+      let f = Array.init 5 (fun _ -> M.encode_envelope sender env) in
+      let entries b = (Core.Intern.decode_wire b).Core.Message.wjust in
+      let is_ref = function Core.Message.Ref _ -> true | Core.Message.Full _ -> false in
+      Alcotest.(check bool) "frame 1 is a keyframe" true
+        (List.for_all (fun e -> not (is_ref e)) (entries f.(0)));
+      Alcotest.(check bool) "frame 2 is all references" true
+        (List.for_all is_ref (entries f.(1)));
+      Alcotest.(check bool) "frame 2 is smaller" true
+        (Bytes.length f.(1) < Bytes.length f.(0));
+      Alcotest.(check bool) "frames 3-4 reuse the cached bytes" true
+        (Bytes.equal f.(1) f.(2) && Bytes.equal f.(1) f.(3));
+      Alcotest.(check bool) "frame 5 is the next keyframe" true
+        (List.for_all (fun e -> not (is_ref e)) (entries f.(4)));
+      (* machine 1 never saw frame 1 over the wire, so its resolution
+         cache is empty: the all-reference frame must drop the bundle *)
+      let unresolved () =
+        Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "compact.unresolved"
+      in
+      let receiver = machines.(1) in
+      let before = unresolved () in
+      ignore (M.handle_wire receiver (Core.Intern.decode_wire f.(1)));
+      Alcotest.(check int) "every reference dropped and counted"
+        (before + List.length (entries f.(1)))
+        (unresolved ());
+      (* the keyframe repopulates the cache; replaying the reference
+         frame afterwards resolves every entry *)
+      ignore (M.handle_wire receiver (Core.Intern.decode_wire f.(4)));
+      let after_keyframe = unresolved () in
+      ignore (M.handle_wire receiver (Core.Intern.decode_wire f.(1)));
+      Alcotest.(check int) "references resolve after the keyframe" after_keyframe
+        (unresolved ()))
+
 let suite =
   ( "machine",
     [
@@ -235,6 +331,9 @@ let suite =
       Alcotest.test_case "attacker content" `Quick test_attacker_message_content;
       Alcotest.test_case "stats" `Quick test_stats_accumulate;
       Alcotest.test_case "same state detection" `Quick test_same_state_detection;
+      Alcotest.test_case "compact wire equivalence" `Quick test_compact_wire_equivalence;
+      Alcotest.test_case "compact framing/unresolved" `Quick
+        test_compact_framing_and_unresolved_refs;
       QCheck_alcotest.to_alcotest qcheck_safety_random_schedules;
       QCheck_alcotest.to_alcotest qcheck_liveness_lossless;
     ] )

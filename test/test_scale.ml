@@ -299,6 +299,13 @@ let test_pbroadcast_consistency () =
 
 (* --- sample-based consensus --------------------------------------------- *)
 
+(* The harness sizes the contended-radio tick from the encoded vote
+   frame: kind byte + varint phase + value byte = 3 bytes for any phase
+   below 128. Pin it so a codec change that silently grows the frame
+   also revisits the channel-capacity math. *)
+let test_state_frame_bytes_pinned () =
+  Alcotest.(check int) "vote frame bytes" 3 Scale.Sampled.state_frame_bytes
+
 let sampled_net ~n ~loss ~seed ~proposal ~behavior =
   let engine = Net.Engine.create ~backend:Calendar () in
   let rng = Util.Rng.create ~seed in
@@ -418,6 +425,7 @@ let suite =
       Alcotest.test_case "mac shared envelope" `Quick test_mac_shared_envelope;
       Alcotest.test_case "pbroadcast totality" `Quick test_pbroadcast_totality;
       Alcotest.test_case "pbroadcast consistency" `Quick test_pbroadcast_consistency;
+      Alcotest.test_case "state frame bytes pinned" `Quick test_state_frame_bytes_pinned;
       Alcotest.test_case "sampled validity" `Quick test_sampled_validity;
       Alcotest.test_case "sampled agreement, byzantine mix" `Quick
         test_sampled_agreement_byzantine;
